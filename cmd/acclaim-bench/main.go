@@ -1,0 +1,92 @@
+// Command acclaim-bench is the OSU-microbenchmark-style tool (the paper
+// collects its training data with the OSU suite): it times every
+// algorithm of a collective across a message-size sweep on the
+// simulated machine and prints an OSU-like table, marking the winner
+// per size.
+//
+// Usage:
+//
+//	acclaim-bench -coll bcast [-nodes 16] [-ppn 4] [-min 8] [-max 1048576]
+//	              [-iters 5] [-latency 1.0] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+	"acclaim/internal/netmodel"
+)
+
+func main() {
+	var (
+		collName = flag.String("coll", "bcast", "collective: allgather, allreduce, bcast, reduce")
+		nodes    = flag.Int("nodes", 16, "node count")
+		ppn      = flag.Int("ppn", 4, "processes per node")
+		minMsg   = flag.Int("min", 8, "minimum message size (bytes)")
+		maxMsg   = flag.Int("max", 1<<20, "maximum message size (bytes)")
+		iters    = flag.Int("iters", 5, "timed iterations per point")
+		latency  = flag.Float64("latency", 1.0, "job latency factor (>= 1; models allocation spread/congestion)")
+		seed     = flag.Int64("seed", 7, "measurement noise seed")
+	)
+	flag.Parse()
+
+	c, err := coll.ParseCollective(*collName)
+	if err != nil {
+		fatal(err)
+	}
+	if *latency < 1 {
+		fatal(fmt.Errorf("latency factor must be >= 1"))
+	}
+	machine := cluster.Theta()
+	alloc, err := cluster.Contiguous(machine, 0, *nodes)
+	if err != nil {
+		fatal(err)
+	}
+	env := netmodel.DefaultEnv()
+	env.LatencyFactor = *latency
+	runner, err := benchmark.NewRunner(netmodel.DefaultParams(), env, alloc,
+		benchmark.Config{Iters: *iters, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	algs := coll.AlgorithmNames(c)
+	fmt.Printf("# %v, %d nodes x %d ppn (%d ranks), latency factor %.2f\n",
+		c, *nodes, *ppn, *nodes**ppn, *latency)
+	fmt.Printf("%-10s", "bytes")
+	for _, a := range algs {
+		fmt.Printf(" %-22s", a)
+	}
+	fmt.Printf(" %s\n", "winner")
+
+	for msg := *minMsg; msg <= *maxMsg; msg *= 2 {
+		fmt.Printf("%-10d", msg)
+		best, bestT := "", 0.0
+		times := make([]float64, len(algs))
+		for i, a := range algs {
+			m, err := runner.Run(benchmark.Spec{Coll: c, Alg: a,
+				Point: featspace.Point{Nodes: *nodes, PPN: *ppn, MsgBytes: msg}})
+			if err != nil {
+				fatal(err)
+			}
+			times[i] = m.MeanTime
+			if best == "" || m.MeanTime < bestT {
+				best, bestT = a, m.MeanTime
+			}
+		}
+		for _, t := range times {
+			fmt.Printf(" %-22.2f", t)
+		}
+		fmt.Printf(" %s\n", best)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acclaim-bench:", err)
+	os.Exit(1)
+}

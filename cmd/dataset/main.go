@@ -1,0 +1,86 @@
+// Command dataset exhaustively benchmarks the simulated machine over a
+// power-of-two grid — the "precollected dataset" of the paper's
+// simulated experiments — and writes it to a gob file for cmd/experiments
+// and library users to replay.
+//
+// Usage:
+//
+//	dataset -out sim.gob [-nodes 64] [-ppn 8] [-maxmsg 1048576]
+//	        [-nonp2] [-seed N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/dataset"
+	"acclaim/internal/featspace"
+	"acclaim/internal/netmodel"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "sim.gob", "output dataset path")
+		nodes   = flag.Int("nodes", 64, "maximum node count")
+		ppn     = flag.Int("ppn", 8, "maximum processes per node")
+		maxMsg  = flag.Int("maxmsg", 1<<20, "maximum message size (bytes)")
+		nonP2   = flag.Bool("nonp2", true, "also collect the non-P2 nodes/message test sets")
+		seed    = flag.Int64("seed", 42, "seed")
+		workers = flag.Int("workers", 0, "simulator workers (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	space := featspace.P2Grid(*nodes, *ppn, 8, *maxMsg)
+	alloc := cluster.TopologyTwoPairs()
+	if *nodes > alloc.Size() {
+		machine := cluster.Machine{Nodes: 4 * *nodes, NodesPerRack: 16, CoresPerNode: 64}
+		var err error
+		alloc, err = cluster.Contiguous(machine, 0, *nodes)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	runner, err := benchmark.NewRunner(netmodel.DefaultParams(), netmodel.DefaultEnv(), alloc,
+		benchmark.Config{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	pts := space.Points()
+	if *nonP2 {
+		rng := rand.New(rand.NewSource(*seed + 17))
+		pts = append(pts, dataset.NonP2NodesPoints(rng, space)...)
+		pts = append(pts, dataset.NonP2MsgPoints(rng, space)...)
+	}
+
+	start := time.Now()
+	lastPct := -1
+	ds, err := dataset.Collect(runner, pts, dataset.CollectOptions{
+		Workers: *workers,
+		Progress: func(done, total int) {
+			pct := done * 100 / total
+			if pct/5 != lastPct/5 {
+				fmt.Fprintf(os.Stderr, "\rcollecting: %3d%% (%d/%d)", pct, done, total)
+				lastPct = pct
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+	if err := ds.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d entries in %v\n", *out, ds.Len(), time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dataset:", err)
+	os.Exit(1)
+}

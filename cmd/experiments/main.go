@@ -1,0 +1,196 @@
+// Command experiments regenerates the data behind every figure in the
+// ACCLAiM paper's evaluation (Figures 3–7 and 9–15) from the simulated
+// testbed and prints the series as tables.
+//
+// Usage:
+//
+//	experiments [-fig N|all] [-space tiny|sim] [-cache path] [-seed N]
+//	            [-nodes N] [-ppn N]
+//
+// -space sim uses the full paper-scale grid (64 nodes, 1 MiB messages);
+// collecting its replay dataset takes a few minutes of CPU the first
+// time, so -cache is recommended. -nodes/-ppn scale the Figure 14
+// production run (paper: 128 nodes, 16 ppn).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/experiments"
+	"acclaim/internal/featspace"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate (3,4,5,6,7,9,10,11,12,13,14,15 or 'all')")
+		space = flag.String("space", "tiny", "testbed grid: 'tiny' or 'sim' (paper-scale)")
+		cache = flag.String("cache", "", "dataset cache path (used with -space sim)")
+		seed  = flag.Int64("seed", 42, "experiment seed")
+		nodes = flag.Int("nodes", 32, "production node count for figure 14 (paper: 128)")
+		ppn   = flag.Int("ppn", 4, "production max ppn for figure 14 (paper: 16)")
+	)
+	flag.Parse()
+
+	want := map[int]bool{}
+	if *fig == "all" {
+		for _, n := range []int{3, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15} {
+			want[n] = true
+		}
+	} else {
+		for _, part := range strings.Split(*fig, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -fig value %q", part))
+			}
+			want[n] = true
+		}
+	}
+
+	var grid featspace.Space
+	switch *space {
+	case "tiny":
+		grid = experiments.TinySpace()
+	case "sim":
+		grid = experiments.SimSpace()
+	default:
+		fatal(fmt.Errorf("unknown -space %q", *space))
+	}
+
+	needsLab := false
+	for _, n := range []int{3, 5, 6, 7, 9, 10, 11, 12, 13} {
+		if want[n] {
+			needsLab = true
+		}
+	}
+	var lab *experiments.Lab
+	if needsLab {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "building testbed (%d grid points)...\n", grid.Size())
+		var err error
+		lab, err = experiments.NewLab(grid, *cache, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "testbed ready: %d dataset entries in %v\n", lab.DS.Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	run := func(n int, f func() (string, error)) {
+		if !want[n] {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("figure %d: %w", n, err))
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[figure %d done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+
+	run(3, func() (string, error) {
+		rows, err := experiments.Fig3(lab, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig3(rows), nil
+	})
+	run(4, func() (string, error) {
+		rows, agg := experiments.Fig4(*seed)
+		return experiments.ReportFig4(rows, agg), nil
+	})
+	run(5, func() (string, error) {
+		series, err := experiments.Fig5(lab, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig5(series), nil
+	})
+	run(6, func() (string, error) {
+		rows, err := experiments.Fig6(lab)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig6(rows), nil
+	})
+	run(7, func() (string, error) {
+		pts, err := experiments.Fig7(lab, coll.Bcast)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig7(pts), nil
+	})
+	run(9, func() (string, error) {
+		file, err := experiments.Fig9(lab)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		b.WriteString("Figure 9 — generated MPICH-style selection file\n")
+		if err := file.Write(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	})
+	run(10, func() (string, error) {
+		rows, cum, err := experiments.Fig10(lab, 0)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig10(rows, cum), nil
+	})
+	run(11, func() (string, error) {
+		series, err := experiments.Fig11(lab, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig11(series), nil
+	})
+	run(12, func() (string, error) {
+		rows, ratio, err := experiments.Fig12(lab)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig12(rows, ratio), nil
+	})
+	run(13, func() (string, error) {
+		rows, err := experiments.Fig13(lab)
+		if err != nil {
+			return "", err
+		}
+		return experiments.ReportFig13(rows), nil
+	})
+
+	var prodTotal float64
+	run(14, func() (string, error) {
+		rows, total, err := experiments.Fig14(*nodes, *ppn, *seed)
+		if err != nil {
+			return "", err
+		}
+		prodTotal = total
+		return experiments.ReportFig14(rows, total), nil
+	})
+	run(15, func() (string, error) {
+		if prodTotal == 0 {
+			// Figure 15 needs a training time; derive one from a small
+			// production run if figure 14 was not requested.
+			_, total, err := experiments.Fig14(*nodes, *ppn, *seed)
+			if err != nil {
+				return "", err
+			}
+			prodTotal = total
+		}
+		rows := experiments.Fig15(prodTotal, nil)
+		return experiments.ReportFig15(rows, prodTotal), nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

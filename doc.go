@@ -1,0 +1,18 @@
+// Package acclaim is a from-scratch Go reproduction of "ACCLAiM:
+// Advancing the Practicality of MPI Collective Communication Autotuning
+// Using Machine Learning" (Wilkins et al., IEEE CLUSTER 2022).
+//
+// The library lives under internal/: a virtual-time MPI simulator and
+// the ten MPICH collective algorithms (simmpi, coll), the network and
+// cluster models (netmodel, cluster), the measurement and dataset layer
+// (benchmark, dataset, sched), the learning stack (forest, stats,
+// featspace, autotune), the three autotuners (core = ACCLAiM, fact,
+// hunold) with the library-default heuristics they are compared against
+// (heuristic), the MPICH-style selection-rule files ACCLAiM emits
+// (rules), application trace synthesis (traces), and one driver per
+// paper figure (experiments).
+//
+// The benchmarks in this file's package regenerate each figure's data;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package acclaim

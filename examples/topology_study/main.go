@@ -1,0 +1,81 @@
+// Topology study: how much parallel benchmark collection buys on
+// different allocation shapes — the Figure 13 experiment as a library
+// user would run it. A fixed list of microbenchmarks is scheduled with
+// the topology-aware greedy scheduler (Section IV-D) onto the four
+// canonical 64-node layouts and replayed sequentially vs in waves.
+//
+// Run with: go run ./examples/topology_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+	"acclaim/internal/netmodel"
+	"acclaim/internal/sched"
+)
+
+func main() {
+	// A benchmark mix like an ACCLAiM training round: various node
+	// demands, highest priority first.
+	var specs []benchmark.Spec
+	for _, nodes := range []int{16, 8, 8, 4, 4, 4, 2, 2, 32, 16, 8, 2} {
+		specs = append(specs, benchmark.Spec{
+			Coll: coll.Allreduce, Alg: "recursive_doubling",
+			Point: featspace.Point{Nodes: nodes, PPN: 2, MsgBytes: 65536},
+		})
+	}
+
+	topologies := []struct {
+		name  string
+		alloc cluster.Allocation
+	}{
+		{"Single Rack (64 nodes, 1 rack)", cluster.TopologySingleRack()},
+		{"Rack Pair (2 racks x 32)", cluster.TopologyRackPair()},
+		{"Two Pairs (4 racks x 16)", cluster.TopologyTwoPairs()},
+		{"Max Parallel (64 separate pairs)", cluster.TopologyMaxParallel()},
+	}
+
+	fmt.Printf("%-34s %-12s %-12s %-9s %-s\n", "topology", "sequential", "parallel", "speedup", "waves")
+	for _, tc := range topologies {
+		runner, err := benchmark.NewRunner(netmodel.DefaultParams(), netmodel.DefaultEnv(), tc.alloc,
+			benchmark.Config{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, seq, err := runner.RunSequential(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, par, waves, err := runner.RunParallel(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %-12.2f %-12.2f %-9.2f %v\n",
+			tc.name, seq/1e3, par/1e3, seq/par, waves)
+	}
+	fmt.Println("\ntimes in milliseconds of machine time; waves list benchmarks per wave")
+
+	// Show the scheduler's placements for one wave on the two-pairs
+	// layout, and that they satisfy the congestion constraints.
+	alloc := cluster.TopologyTwoPairs()
+	reqs := make([]sched.Request, len(specs))
+	for i, s := range specs {
+		reqs[i] = sched.Request{ID: i, Nodes: s.Point.Nodes, Priority: float64(len(specs) - i)}
+	}
+	wave, rest := sched.PlanWave(alloc, reqs)
+	fmt.Printf("\nfirst wave on Two Pairs: %d benchmarks placed, %d deferred\n", len(wave), len(rest))
+	for _, p := range wave {
+		nodes := p.PhysicalNodes(alloc)
+		fmt.Printf("  request %d (%d nodes) -> physical nodes %v..%v\n",
+			p.ID, p.Nodes, nodes[0], nodes[len(nodes)-1])
+	}
+	if err := sched.CheckWave(alloc, wave); err != nil {
+		log.Fatalf("wave violates congestion constraints: %v", err)
+	}
+	fmt.Println("wave passes the rack/pair congestion checks")
+}

@@ -1,0 +1,3 @@
+module acclaim
+
+go 1.22

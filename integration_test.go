@@ -1,0 +1,144 @@
+package acclaim_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/core"
+	"acclaim/internal/featspace"
+	"acclaim/internal/forest"
+	"acclaim/internal/heuristic"
+	"acclaim/internal/netmodel"
+	"acclaim/internal/rules"
+	"acclaim/internal/traces"
+)
+
+// TestEndToEndPipeline walks the full Figure 1(b) production flow as a
+// single test: job allocation -> ACCLAiM training with parallel
+// collection -> JSON rule file -> selection replay against ground
+// truth, compared with the library-default heuristics.
+func TestEndToEndPipeline(t *testing.T) {
+	const (
+		jobNodes = 16
+		jobPPN   = 2
+		seed     = 3
+	)
+	machine := cluster.Theta()
+	rng := newSeededRand(seed)
+	alloc, err := cluster.BestEffort(machine, rng, jobNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := netmodel.SampleEnv(rng, alloc)
+	runner, err := benchmark.NewRunner(netmodel.DefaultParams(), env, alloc, benchmark.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	space := featspace.P2Grid(jobNodes, jobPPN, 8, 1<<20)
+	tuner := core.New(core.Config{
+		Space:     space,
+		Forest:    forest.Config{NTrees: 30, Seed: seed},
+		Seed:      seed,
+		Parallel:  true,
+		BatchSize: 4,
+	}, autotune.LiveBackend{Runner: runner})
+
+	colls := []coll.Collective{coll.Bcast, coll.Allreduce}
+	results := make(map[coll.Collective]*core.Result)
+	for _, c := range colls {
+		res, err := tuner.Tune(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("%v did not converge", c)
+		}
+		if res.Ledger.Testing != 0 {
+			t.Errorf("%v charged test-set time", c)
+		}
+		results[c] = res
+	}
+
+	// Rule file round trip through disk.
+	file, err := tuner.BuildRulesFile(results, "integration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	if err := file.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := rules.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground-truth comparison over the job's own cell, every grid
+	// message size plus non-P2 sizes: the tuned selections should beat
+	// the default heuristics in aggregate on this job.
+	msgs := append([]int{}, space.Msgs...)
+	msgs = append(msgs, 24, 3000, 50000, 700000)
+	var tunedSum, defSum, n float64
+	for _, c := range colls {
+		tab := loaded.Tables[c.String()]
+		for _, msg := range msgs {
+			p := featspace.Point{Nodes: jobNodes, PPN: jobPPN, MsgBytes: msg}
+			best := math.Inf(1)
+			times := map[string]float64{}
+			for _, alg := range coll.AlgorithmNames(c) {
+				m, err := runner.Run(benchmark.Spec{Coll: c, Alg: alg, Point: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				times[alg] = m.MeanTime
+				best = math.Min(best, m.MeanTime)
+			}
+			tunedAlg, err := tab.Select(p.Nodes, p.PPN, p.MsgBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tunedSum += times[tunedAlg] / best
+			defSum += times[heuristic.Select(c, p)] / best
+			n++
+		}
+	}
+	tunedSD, defSD := tunedSum/n, defSum/n
+	if tunedSD > defSD+0.01 {
+		t.Errorf("tuned slowdown %.4f worse than default %.4f on the job cell", tunedSD, defSD)
+	}
+	if tunedSD > 1.15 {
+		t.Errorf("tuned slowdown %.4f too far from optimal", tunedSD)
+	}
+}
+
+// TestTraceDrivenCollectiveList checks the profiler-based user input
+// path: a trace recommends the collectives worth tuning.
+func TestTraceDrivenCollectiveList(t *testing.T) {
+	tr, err := traces.Synthesize("AMG", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := traces.RecommendedCollectives(tr, 0.10)
+	if len(rec) == 0 {
+		t.Fatal("profiler recommended nothing")
+	}
+	want, err := traces.Collectives("AMG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := map[coll.Collective]bool{}
+	for _, c := range want {
+		wantSet[c] = true
+	}
+	for _, c := range rec {
+		if !wantSet[c] {
+			t.Errorf("recommended %v, which AMG does not use", c)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package autotune is the shared scaffolding under every collective
+// autotuner in this repository (ACCLAiM in internal/core and the two
+// prior-work baselines in internal/fact and internal/hunold): benchmark
+// backends, candidate enumeration, training-sample bookkeeping, model
+// wrappers over the random forest, and the average-slowdown evaluation
+// harness of Section II-C2.
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"acclaim/internal/benchmark"
+	"acclaim/internal/coll"
+	"acclaim/internal/dataset"
+	"acclaim/internal/featspace"
+	"acclaim/internal/forest"
+)
+
+// Backend supplies microbenchmark measurements. Implementations include
+// the live simulator (LiveBackend) and dataset replay (dataset.Replay).
+type Backend interface {
+	// Measure runs (or replays) one microbenchmark.
+	Measure(spec benchmark.Spec) (benchmark.Measurement, error)
+	// MaxNodes is the largest node count a benchmark may request.
+	MaxNodes() int
+}
+
+// WaveBackend additionally collects batches of benchmarks as
+// topology-scheduled parallel waves, returning the total machine time
+// (sum of per-wave maxima) alongside the measurements.
+type WaveBackend interface {
+	Backend
+	MeasureWave(specs []benchmark.Spec) ([]benchmark.Measurement, float64, error)
+}
+
+// LiveBackend adapts a benchmark.Runner to the Backend interfaces.
+type LiveBackend struct {
+	Runner *benchmark.Runner
+}
+
+// Measure runs one benchmark on the live simulator.
+func (b LiveBackend) Measure(spec benchmark.Spec) (benchmark.Measurement, error) {
+	return b.Runner.Run(spec)
+}
+
+// MaxNodes returns the runner allocation's size.
+func (b LiveBackend) MaxNodes() int { return b.Runner.MaxNodes() }
+
+// MeasureWave schedules the specs topology-aware and runs them in
+// parallel waves.
+func (b LiveBackend) MeasureWave(specs []benchmark.Spec) ([]benchmark.Measurement, float64, error) {
+	ms, total, _, err := b.Runner.RunParallel(specs)
+	return ms, total, err
+}
+
+// Candidate is a potential training point: a feature point plus the
+// algorithm to force.
+type Candidate struct {
+	Point  featspace.Point
+	Alg    string
+	AlgIdx int
+}
+
+// Spec converts the candidate to a benchmark spec for a collective.
+func (c Candidate) Spec(cl coll.Collective) benchmark.Spec {
+	return benchmark.Spec{Coll: cl, Alg: c.Alg, Point: c.Point}
+}
+
+// Candidates enumerates every (point, algorithm) pair of a collective
+// over the grid, skipping points that are invalid or exceed maxNodes.
+// The order is deterministic: points in grid order, algorithms in
+// registry order.
+func Candidates(cl coll.Collective, space featspace.Space, maxNodes int) []Candidate {
+	algs := coll.AlgorithmNames(cl)
+	out := make([]Candidate, 0, space.Size()*len(algs))
+	for _, p := range space.Points() {
+		if !p.Valid() || p.Nodes > maxNodes {
+			continue
+		}
+		for ai, a := range algs {
+			out = append(out, Candidate{Point: p, Alg: a, AlgIdx: ai})
+		}
+	}
+	return out
+}
+
+// Sample is one collected training observation.
+type Sample struct {
+	Candidate Candidate
+	Mean      float64 // measured mean collective time (us)
+	Wall      float64 // machine time its collection cost (us)
+}
+
+// TrainingSet accumulates samples for one collective and renders the
+// design matrix. Targets are log(time): collective times span five
+// orders of magnitude across the feature space, and trees fit the log
+// scale far better.
+type TrainingSet struct {
+	Coll    coll.Collective
+	Samples []Sample
+	have    map[benchmark.Spec]bool
+}
+
+// NewTrainingSet returns an empty training set for a collective.
+func NewTrainingSet(cl coll.Collective) *TrainingSet {
+	return &TrainingSet{Coll: cl, have: make(map[benchmark.Spec]bool)}
+}
+
+// Add appends a sample.
+func (ts *TrainingSet) Add(c Candidate, mean, wall float64) {
+	ts.Samples = append(ts.Samples, Sample{Candidate: c, Mean: mean, Wall: wall})
+	ts.have[c.Spec(ts.Coll)] = true
+}
+
+// AddSample appends a pre-built sample.
+func (ts *TrainingSet) AddSample(s Sample) {
+	ts.Samples = append(ts.Samples, s)
+	ts.have[s.Candidate.Spec(ts.Coll)] = true
+}
+
+// Has reports whether the candidate was already collected.
+func (ts *TrainingSet) Has(c Candidate) bool { return ts.have[c.Spec(ts.Coll)] }
+
+// Len returns the number of samples.
+func (ts *TrainingSet) Len() int { return len(ts.Samples) }
+
+// Matrix renders features and log-time targets for the unified
+// (algorithm-as-feature) model.
+func (ts *TrainingSet) Matrix() (x [][]float64, y []float64) {
+	x = make([][]float64, len(ts.Samples))
+	y = make([]float64, len(ts.Samples))
+	for i, s := range ts.Samples {
+		x[i] = featspace.Features(s.Candidate.Point, s.Candidate.AlgIdx)
+		y[i] = math.Log(s.Mean)
+	}
+	return x, y
+}
+
+// MatrixForAlg renders features and targets restricted to one algorithm
+// (for per-algorithm model designs, without the algorithm feature).
+func (ts *TrainingSet) MatrixForAlg(alg string) (x [][]float64, y []float64) {
+	for _, s := range ts.Samples {
+		if s.Candidate.Alg != alg {
+			continue
+		}
+		x = append(x, featspace.Features(s.Candidate.Point))
+		y = append(y, math.Log(s.Mean))
+	}
+	return x, y
+}
+
+// Model is a trained unified model for one collective: a single forest
+// with the algorithm index as an input feature (ACCLAiM's design,
+// Section V).
+type Model struct {
+	Coll coll.Collective
+	F    *forest.Forest
+}
+
+// TrainModel fits the unified model on a training set.
+func TrainModel(cfg forest.Config, ts *TrainingSet) (*Model, error) {
+	x, y := ts.Matrix()
+	f, err := forest.Train(cfg, x, y)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Coll: ts.Coll, F: f}, nil
+}
+
+// PredictTime returns the predicted collective time in microseconds for
+// an algorithm (by index) at a point.
+func (m *Model) PredictTime(p featspace.Point, algIdx int) float64 {
+	return math.Exp(m.F.Predict(featspace.Features(p, algIdx)))
+}
+
+// Variance returns the jackknife variance of the model's (log-scale)
+// prediction for a candidate — the uncertainty signal ACCLAiM selects
+// training points by.
+func (m *Model) Variance(c Candidate) float64 {
+	return m.F.JackknifeVariance(featspace.Features(c.Point, c.AlgIdx))
+}
+
+// Select returns the algorithm with the lowest predicted time at p.
+func (m *Model) Select(p featspace.Point) string {
+	algs := coll.AlgorithmNames(m.Coll)
+	best, bestT := algs[0], math.Inf(1)
+	for ai, a := range algs {
+		if t := m.PredictTime(p, ai); t < bestT {
+			best, bestT = a, t
+		}
+	}
+	return best
+}
+
+// PerAlgModel is the prior works' design: one forest per algorithm
+// (Hunold et al., Section II-C1).
+type PerAlgModel struct {
+	Coll    coll.Collective
+	Forests map[string]*forest.Forest
+}
+
+// TrainPerAlg fits one forest per algorithm that has samples. Algorithms
+// with no samples are absent and never selected.
+func TrainPerAlg(cfg forest.Config, ts *TrainingSet) (*PerAlgModel, error) {
+	m := &PerAlgModel{Coll: ts.Coll, Forests: make(map[string]*forest.Forest)}
+	for _, alg := range coll.AlgorithmNames(ts.Coll) {
+		x, y := ts.MatrixForAlg(alg)
+		if len(x) == 0 {
+			continue
+		}
+		f, err := forest.Train(cfg, x, y)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: training %s/%s: %w", ts.Coll, alg, err)
+		}
+		m.Forests[alg] = f
+	}
+	if len(m.Forests) == 0 {
+		return nil, errors.New("autotune: no algorithm has training samples")
+	}
+	return m, nil
+}
+
+// Select queries every per-algorithm model and picks the lowest
+// predicted time, as the baseline autotuners do.
+func (m *PerAlgModel) Select(p featspace.Point) string {
+	feats := featspace.Features(p)
+	best := ""
+	bestT := math.Inf(1)
+	for _, alg := range coll.AlgorithmNames(m.Coll) {
+		f, ok := m.Forests[alg]
+		if !ok {
+			continue
+		}
+		if t := f.Predict(feats); t < bestT {
+			best, bestT = alg, t
+		}
+	}
+	return best
+}
+
+// Selector is anything that picks an algorithm for a feature point —
+// trained models, rule tables, and static heuristics all qualify.
+type Selector interface {
+	Select(p featspace.Point) string
+}
+
+// SelectorFunc adapts a function to the Selector interface.
+type SelectorFunc func(p featspace.Point) string
+
+// Select implements Selector.
+func (f SelectorFunc) Select(p featspace.Point) string { return f(p) }
+
+// EvalSlowdown computes the paper's average-slowdown metric for a
+// selector over the test points, with ground truth from the dataset:
+// mean over points of time(selected)/time(best). Points with no dataset
+// entry for the selected algorithm are an error — the selector chose
+// something the ground truth cannot price.
+func EvalSlowdown(ds *dataset.Dataset, cl coll.Collective, pts []featspace.Point, sel Selector) (float64, error) {
+	if len(pts) == 0 {
+		return 0, errors.New("autotune: no evaluation points")
+	}
+	var sum float64
+	n := 0
+	for _, p := range pts {
+		_, best, ok := ds.Best(cl, p)
+		if !ok {
+			continue // point not benchmarked; skip
+		}
+		alg := sel.Select(p)
+		got, ok := ds.TimeOf(cl, alg, p)
+		if !ok {
+			return 0, fmt.Errorf("autotune: dataset has no %v/%s at %v", cl, alg, p)
+		}
+		sum += got / best
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("autotune: no evaluation points present in dataset")
+	}
+	return sum / float64(n), nil
+}
+
+// Ledger tracks the machine time an autotuner's training consumed, the
+// quantity on the x-axis of Figures 10 and 12 and the one Figure 14
+// reports for production runs.
+type Ledger struct {
+	Collection float64 // machine time spent collecting training data (us)
+	Testing    float64 // machine time spent collecting test data (us)
+}
+
+// Total returns collection plus testing time.
+func (l Ledger) Total() float64 { return l.Collection + l.Testing }
+
+// TracePoint records one training iteration's state, feeding the
+// time-series figures (7, 10, 12).
+type TracePoint struct {
+	Iter           int
+	Samples        int
+	CollectionTime float64 // cumulative machine time so far (us)
+	CumVariance    float64 // cumulative jackknife variance (NaN if untracked)
+	Slowdown       float64 // avg slowdown at this iteration (NaN if unevaluated)
+}
+
+// CurvePoint is one point of a data-efficiency learning curve
+// (Figures 3 and 5): model quality as a function of training set size.
+type CurvePoint struct {
+	Fraction       float64 // of the candidate pool used for training
+	Samples        int
+	CollectionTime float64 // machine time those samples cost (us)
+	Slowdown       float64
+}
+
+// LearningCurve trains a model on growing prefixes of a fixed selection
+// order and evaluates each, producing the paper's
+// slowdown-vs-training-data curves. fracs are fractions of len(order);
+// prefixes of fewer than two samples are skipped.
+func LearningCurve(cl coll.Collective, order []Sample, fracs []float64,
+	train func(*TrainingSet) (Selector, error),
+	eval func(Selector) (float64, error)) ([]CurvePoint, error) {
+
+	var out []CurvePoint
+	for _, frac := range fracs {
+		k := int(math.Round(frac * float64(len(order))))
+		if k < 2 {
+			continue
+		}
+		if k > len(order) {
+			k = len(order)
+		}
+		ts := NewTrainingSet(cl)
+		var wall float64
+		for _, s := range order[:k] {
+			ts.AddSample(s)
+			wall += s.Wall
+		}
+		sel, err := train(ts)
+		if err != nil {
+			return nil, err
+		}
+		sd, err := eval(sel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurvePoint{Fraction: frac, Samples: k, CollectionTime: wall, Slowdown: sd})
+	}
+	return out, nil
+}

@@ -1,0 +1,290 @@
+// Package benchmark is the OSU-microbenchmark-style measurement layer
+// (the paper uses the Ohio State University suite, Section V). A Runner
+// owns a job's node allocation and dynamic environment and executes
+// collective microbenchmarks on subsets of the allocation — one at a
+// time (the safe sequential strategy of prior work, Section III-D) or as
+// topology-scheduled parallel waves (ACCLAiM's strategy, Section IV-D).
+//
+// All times are virtual microseconds from the simulator; the "wall
+// time" a measurement charges is the simulated machine time the
+// benchmark occupied, which is what the paper's training-time x-axes
+// sum.
+package benchmark
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+	"acclaim/internal/netmodel"
+	"acclaim/internal/sched"
+	"acclaim/internal/simmpi"
+)
+
+// Spec names one microbenchmark: a collective, an algorithm, and a
+// feature point.
+type Spec struct {
+	Coll  coll.Collective
+	Alg   string
+	Point featspace.Point
+}
+
+// String renders the spec compactly.
+func (s Spec) String() string {
+	return fmt.Sprintf("%v/%s@%v", s.Coll, s.Alg, s.Point)
+}
+
+// Measurement is the outcome of one microbenchmark.
+type Measurement struct {
+	Spec     Spec
+	MeanTime float64 // mean per-iteration collective time (us), with noise
+	WallTime float64 // total machine time the benchmark occupied (us)
+}
+
+// Config tunes the measurement protocol.
+type Config struct {
+	Warmup int // untimed iterations (default 2)
+	Iters  int // timed iterations (default 5)
+	Seed   int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Warmup == 0 {
+		c.Warmup = 2
+	}
+	if c.Iters == 0 {
+		c.Iters = 5
+	}
+	return c
+}
+
+// Runner executes microbenchmarks for one job. All methods are safe for
+// concurrent use; measurement noise is derived per-spec so results do
+// not depend on execution order.
+type Runner struct {
+	Params netmodel.Params
+	Env    netmodel.Env
+	Alloc  cluster.Allocation
+	Config Config
+
+	// RackShareFactor inflates runs that illegally share a rack; used
+	// only when a wave violates the scheduler's constraints (ablations).
+	RackShareFactor float64
+}
+
+// NewRunner builds a runner for a job's allocation and environment.
+func NewRunner(params netmodel.Params, env netmodel.Env, alloc cluster.Allocation, cfg Config) (*Runner, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if err := alloc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Runner{
+		Params:          params,
+		Env:             env,
+		Alloc:           alloc,
+		Config:          cfg,
+		RackShareFactor: 1.6,
+	}, nil
+}
+
+// MaxNodes returns the largest benchmark this runner can host.
+func (r *Runner) MaxNodes() int { return r.Alloc.Size() }
+
+// subAllocation builds the allocation for a benchmark on the given
+// allocation-node indices (or the first spec.Point.Nodes nodes when idx
+// is nil).
+func (r *Runner) subAllocation(spec Spec, idx []int) (cluster.Allocation, error) {
+	need := spec.Point.Nodes
+	if need > r.Alloc.Size() {
+		return cluster.Allocation{}, fmt.Errorf("benchmark: %v needs %d nodes, allocation has %d",
+			spec, need, r.Alloc.Size())
+	}
+	if idx == nil {
+		idx = make([]int, need)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) != need {
+		return cluster.Allocation{}, fmt.Errorf("benchmark: %v needs %d nodes, placement has %d",
+			spec, need, len(idx))
+	}
+	nodes := make([]int, need)
+	for i, j := range idx {
+		if j < 0 || j >= r.Alloc.Size() {
+			return cluster.Allocation{}, fmt.Errorf("benchmark: placement index %d out of range", j)
+		}
+		nodes[i] = r.Alloc.Nodes[j]
+	}
+	return cluster.Allocation{Machine: r.Alloc.Machine, Nodes: nodes}, nil
+}
+
+// baseTime runs the simulator once for the spec and returns the
+// noise-free collective time.
+func (r *Runner) baseTime(spec Spec, idx []int) (float64, error) {
+	sub, err := r.subAllocation(spec, idx)
+	if err != nil {
+		return 0, err
+	}
+	model, err := netmodel.New(r.Params, r.Env, sub, spec.Point.PPN)
+	if err != nil {
+		return 0, err
+	}
+	res, err := coll.Exec(model, spec.Coll, spec.Alg, spec.Point.MsgBytes, coll.Options{Op: simmpi.OpSum})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxClock, nil
+}
+
+// specSeed derives a deterministic per-spec noise seed so measurements
+// are reproducible regardless of the order benchmarks execute in.
+func (r *Runner) specSeed(spec Spec) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d|%d|%d",
+		spec.Coll, spec.Alg, spec.Point.Nodes, spec.Point.PPN, spec.Point.MsgBytes, r.Config.Seed)
+	return int64(h.Sum64())
+}
+
+// measure converts a base time into a Measurement by applying
+// per-iteration noise analytically (the simulator is deterministic, so
+// repeated executions would be identical; real repetitions differ by
+// measurement noise).
+func (r *Runner) measure(spec Spec, base float64) Measurement {
+	rng := rand.New(rand.NewSource(r.specSeed(spec)))
+	noise := func() float64 {
+		f := 1 + rng.NormFloat64()*r.Env.NoiseSigma
+		if f < 0.5 {
+			f = 0.5
+		}
+		return f
+	}
+	var sum, wall float64
+	for i := 0; i < r.Config.Warmup; i++ {
+		wall += base * noise()
+	}
+	for i := 0; i < r.Config.Iters; i++ {
+		t := base * noise()
+		sum += t
+		wall += t
+	}
+	return Measurement{Spec: spec, MeanTime: sum / float64(r.Config.Iters), WallTime: wall}
+}
+
+// Run executes one microbenchmark on the first Point.Nodes nodes of the
+// allocation (the sequential strategy).
+func (r *Runner) Run(spec Spec) (Measurement, error) {
+	base, err := r.baseTime(spec, nil)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return r.measure(spec, base), nil
+}
+
+// RunSequential executes the specs one after another, returning the
+// measurements and the total machine time consumed (the sum of wall
+// times — nodes not in use sit idle, exactly the inefficiency Section
+// III-D describes).
+func (r *Runner) RunSequential(specs []Spec) ([]Measurement, float64, error) {
+	var total float64
+	out := make([]Measurement, 0, len(specs))
+	for _, s := range specs {
+		m, err := r.Run(s)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, m)
+		total += m.WallTime
+	}
+	return out, total, nil
+}
+
+// RunWave executes one scheduler wave in parallel. The wave's machine
+// time is the maximum wall time across its placements. If the wave
+// violates the congestion constraints (only possible when callers
+// bypass sched.PlanWave), each offending run is inflated by
+// RackShareFactor.
+func (r *Runner) RunWave(wave []sched.Placement, specs map[int]Spec) ([]Measurement, float64, error) {
+	if len(wave) == 0 {
+		return nil, 0, errors.New("benchmark: empty wave")
+	}
+	shared := sched.CheckWave(r.Alloc, wave) != nil
+	out := make([]Measurement, len(wave))
+	errs := make([]error, len(wave))
+	var wg sync.WaitGroup
+	wg.Add(len(wave))
+	for i, p := range wave {
+		go func(i int, p sched.Placement) {
+			defer wg.Done()
+			spec, ok := specs[p.ID]
+			if !ok {
+				errs[i] = fmt.Errorf("benchmark: wave references unknown request %d", p.ID)
+				return
+			}
+			base, err := r.baseTime(spec, p.NodeIdx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if shared {
+				base *= r.RackShareFactor
+			}
+			out[i] = r.measure(spec, base)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var waveTime float64
+	for _, m := range out {
+		if m.WallTime > waveTime {
+			waveTime = m.WallTime
+		}
+	}
+	return out, waveTime, nil
+}
+
+// RunParallel schedules all specs with the topology-aware greedy
+// scheduler and executes wave by wave. Requests carry the given
+// priorities (higher first); priorities must be pre-sorted by the
+// caller if a specific order matters — RunParallel preserves input
+// order as the greedy order. It returns all measurements, the total
+// machine time (sum of wave maxima), and the per-wave parallelism.
+func (r *Runner) RunParallel(specs []Spec) ([]Measurement, float64, []int, error) {
+	reqs := make([]sched.Request, len(specs))
+	byID := make(map[int]Spec, len(specs))
+	for i, s := range specs {
+		reqs[i] = sched.Request{ID: i, Nodes: s.Point.Nodes, Priority: float64(len(specs) - i)}
+		byID[i] = s
+	}
+	waves, err := sched.PlanAll(r.Alloc, reqs)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var out []Measurement
+	var total float64
+	for _, wave := range waves {
+		ms, waveTime, err := r.RunWave(wave, byID)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		out = append(out, ms...)
+		total += waveTime
+	}
+	return out, total, sched.Parallelism(waves), nil
+}

@@ -1,0 +1,185 @@
+// Package coll implements the ten MPICH collective algorithms studied in
+// the ACCLAiM paper, across the four most popular collectives on
+// production systems (Chunduri et al.): MPI_Allgather, MPI_Allreduce,
+// MPI_Bcast, and MPI_Reduce.
+//
+// Every algorithm is written once against the simmpi virtual-time
+// runtime and therefore yields both a simulated execution time and real
+// data movement that the package verifies against a reference result —
+// the same implementation is used by the correctness tests (with data)
+// and the benchmark sweeps (timing only).
+package coll
+
+import (
+	"errors"
+	"fmt"
+
+	"acclaim/internal/netmodel"
+	"acclaim/internal/simmpi"
+)
+
+// Collective identifies one MPI collective operation.
+type Collective int
+
+// The four collectives, in the paper's alphabetical presentation order.
+const (
+	Allgather Collective = iota
+	Allreduce
+	Bcast
+	Reduce
+	numCollectives
+)
+
+// String implements fmt.Stringer using MPI naming.
+func (c Collective) String() string {
+	switch c {
+	case Allgather:
+		return "allgather"
+	case Allreduce:
+		return "allreduce"
+	case Bcast:
+		return "bcast"
+	case Reduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("Collective(%d)", int(c))
+	}
+}
+
+// ParseCollective converts a name produced by String back to a
+// Collective.
+func ParseCollective(s string) (Collective, error) {
+	for c := Collective(0); c < numCollectives; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("coll: unknown collective %q", s)
+}
+
+// Collectives returns all four collectives in stable order.
+func Collectives() []Collective {
+	return []Collective{Allgather, Allreduce, Bcast, Reduce}
+}
+
+// algorithmNames fixes the per-collective algorithm order; the position
+// of a name is its "algorithm" feature value in the ML models.
+var algorithmNames = map[Collective][]string{
+	Allgather: {"recursive_doubling", "ring", "brucks"},
+	Allreduce: {"recursive_doubling", "reduce_scatter_allgather"},
+	Bcast:     {"binomial", "scatter_recursive_doubling_allgather", "scatter_ring_allgather"},
+	Reduce:    {"binomial", "scatter_gather"},
+}
+
+// AlgorithmNames returns the algorithm names of a collective in stable
+// order. The returned slice must not be modified.
+func AlgorithmNames(c Collective) []string { return algorithmNames[c] }
+
+// NumAlgorithms returns how many algorithms a collective has.
+func NumAlgorithms(c Collective) int { return len(algorithmNames[c]) }
+
+// TotalAlgorithms is the number of (collective, algorithm) pairs: the
+// "total of 10 algorithms" the paper considers.
+const TotalAlgorithms = 10
+
+// AlgIndex returns the feature index of an algorithm name.
+func AlgIndex(c Collective, name string) (int, bool) {
+	for i, n := range algorithmNames[c] {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// inputByte is the deterministic test pattern: the i-th byte of rank r's
+// contribution. 251 is prime so patterns differ across ranks and offsets.
+func inputByte(rank, i int) byte { return byte((rank*131 + i*29 + 7) % 251) }
+
+// fillInput writes rank r's contribution pattern into a data buffer.
+func fillInput(rank int, b simmpi.Buf) {
+	if b.Data == nil {
+		return
+	}
+	for i := range b.Data {
+		b.Data[i] = inputByte(rank, i)
+	}
+}
+
+// Options configures one collective execution.
+type Options struct {
+	WithData bool      // move and verify real bytes (slower)
+	Op       simmpi.Op // reduction operator for reduce/allreduce
+	Root     int       // root rank for rooted collectives (bcast, reduce)
+}
+
+// Exec runs the named algorithm of a collective over the model's ranks
+// with the given message size (OSU convention: the per-rank contribution
+// for allgather, the full buffer otherwise) and returns the simulated
+// result. With opts.WithData it also verifies the collective's
+// postcondition and returns an error on any mismatch.
+func Exec(model *netmodel.Model, c Collective, alg string, msgBytes int, opts Options) (simmpi.Result, error) {
+	if msgBytes < 1 {
+		return simmpi.Result{}, errors.New("coll: message size must be >= 1")
+	}
+	n := model.Ranks()
+	if n < 2 {
+		return simmpi.Result{}, errors.New("coll: need at least 2 ranks")
+	}
+	if opts.Root < 0 || opts.Root >= n {
+		return simmpi.Result{}, fmt.Errorf("coll: root %d out of range", opts.Root)
+	}
+	if _, ok := AlgIndex(c, alg); !ok {
+		return simmpi.Result{}, fmt.Errorf("coll: collective %v has no algorithm %q", c, alg)
+	}
+	switch c {
+	case Bcast:
+		return execBcast(model, alg, msgBytes, opts)
+	case Reduce:
+		return execReduce(model, alg, msgBytes, opts)
+	case Allreduce:
+		return execAllreduce(model, alg, msgBytes, opts)
+	case Allgather:
+		return execAllgather(model, alg, msgBytes, opts)
+	default:
+		return simmpi.Result{}, fmt.Errorf("coll: unknown collective %v", c)
+	}
+}
+
+// newBuf allocates a buffer, with backing bytes only in data mode.
+func newBuf(n int, withData bool) simmpi.Buf {
+	if withData {
+		return simmpi.BytesBuf(make([]byte, n))
+	}
+	return simmpi.MakeBuf(n)
+}
+
+// expectedReduction computes op over all ranks' input patterns.
+func expectedReduction(n, bytes int, op simmpi.Op) []byte {
+	acc := make([]byte, bytes)
+	for i := range acc {
+		acc[i] = inputByte(0, i)
+	}
+	tmp := simmpi.BytesBuf(acc)
+	for r := 1; r < n; r++ {
+		other := simmpi.BytesBuf(make([]byte, bytes))
+		fillInput(r, other)
+		op.Combine(tmp, other)
+	}
+	return acc
+}
+
+func verifyEqual(got simmpi.Buf, want []byte, what string, rank int) error {
+	if got.Data == nil {
+		return nil
+	}
+	if got.N != len(want) {
+		return fmt.Errorf("coll: %s rank %d: got %d bytes, want %d", what, rank, got.N, len(want))
+	}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			return fmt.Errorf("coll: %s rank %d: byte %d = %d, want %d", what, rank, i, got.Data[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package coll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acclaim/internal/simmpi"
+)
+
+// TestRandomConfigurationsProperty fuzzes every algorithm over random
+// rank counts, ppn values, message sizes, roots, and operators: the
+// collective postcondition must hold and the virtual time must be
+// positive and finite.
+func TestRandomConfigurationsProperty(t *testing.T) {
+	ops := []simmpi.Op{simmpi.OpSum, simmpi.OpMax, simmpi.OpXor}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Collectives()[rng.Intn(4)]
+		algs := AlgorithmNames(c)
+		alg := algs[rng.Intn(len(algs))]
+		nodes := 2 + rng.Intn(15)
+		ppn := 1 + rng.Intn(3)
+		msg := 1 + rng.Intn(2000)
+		opts := Options{
+			WithData: true,
+			Op:       ops[rng.Intn(len(ops))],
+		}
+		model := modelFor(t, nodes, ppn)
+		if rng.Intn(2) == 0 && (c == Bcast || c == Reduce) {
+			opts.Root = rng.Intn(nodes * ppn)
+		}
+		res, err := Exec(model, c, alg, msg, opts)
+		if err != nil {
+			t.Logf("seed %d: %v/%s nodes=%d ppn=%d msg=%d root=%d: %v",
+				seed, c, alg, nodes, ppn, msg, opts.Root, err)
+			return false
+		}
+		return res.MaxClock > 0 && res.Sent > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimeMonotoneInLatencyProperty: for any algorithm and point,
+// raising the job's latency factor must never make the collective
+// faster.
+func TestTimeMonotoneInLatencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Collectives()[rng.Intn(4)]
+		algs := AlgorithmNames(c)
+		alg := algs[rng.Intn(len(algs))]
+		nodes := 2 + rng.Intn(10)
+		msg := 8 << rng.Intn(12)
+
+		timeAt := func(factor float64) float64 {
+			model := modelWithLatency(t, nodes, 2, factor)
+			res, err := Exec(model, c, alg, msg, Options{Op: simmpi.OpSum})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.MaxClock
+		}
+		return timeAt(1.0) <= timeAt(1.5) && timeAt(1.5) <= timeAt(2.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimeMonotoneInSizeProperty: larger messages never finish faster
+// for the same algorithm on an all-power-of-two configuration (with
+// non-P2 rank counts or sizes, internal chunking crosses non-P2
+// penalty cliffs, so global monotonicity intentionally does not hold).
+func TestTimeMonotoneInSizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Collectives()[rng.Intn(4)]
+		algs := AlgorithmNames(c)
+		alg := algs[rng.Intn(len(algs))]
+		nodes := 2 << rng.Intn(4) // P2 so chunk sizes stay P2 at every level
+		model := modelFor(t, nodes, 2)
+		msg := 8 << rng.Intn(10)
+		t1, err := Exec(model, c, alg, msg, Options{Op: simmpi.OpSum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := Exec(model, c, alg, msg*4, Options{Op: simmpi.OpSum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t1.MaxClock <= t2.MaxClock
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package core implements ACCLAiM, the paper's contribution: a
+// practical active-learning autotuner for MPI collective algorithm
+// selection. Relative to FACT (the prior state of the art) it makes
+// four changes, one per subsection of Section IV:
+//
+//   - Training point selection (IV-A): a single random-forest model per
+//     collective (algorithm enumerated as a feature) picks its own next
+//     training point by jackknife variance — no surrogate model.
+//   - Non-power-of-two points (IV-B): every fifth selection swaps the
+//     chosen power-of-two message size for a random non-P2 neighbour
+//     (the 80-20 split of Figure 11), so the model learns non-P2 trends
+//     at no extra collection cost.
+//   - Model testing (IV-C): convergence is declared from the cumulative
+//     jackknife variance across the feature space — four consecutive
+//     iterations with a small delta — eliminating the test set and its
+//     6–11x collection overhead.
+//   - Data collection (IV-D): batches of high-variance points are
+//     scheduled onto disjoint racks by the topology-aware greedy
+//     scheduler and benchmarked in parallel waves.
+//
+// After convergence the trained models are lowered to an MPICH-style
+// JSON rule file (Section V, Figure 9) that the library consults at
+// collective-call time.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+	"acclaim/internal/forest"
+	"acclaim/internal/rules"
+	"acclaim/internal/stats"
+)
+
+// Config parameterises ACCLAiM.
+type Config struct {
+	Space  featspace.Space
+	Forest forest.Config
+	// NonP2Every makes every k-th selection non-P2 (default 5: the
+	// paper's 80-20 split; 2 gives the 50-50 ablation). Negative
+	// disables non-P2 mixing entirely (the all-P2 ablation).
+	NonP2Every int
+
+	// SeedPoints adds evenly spaced extra seeds on top of the
+	// stratified seed design (usually 0). The loop always starts from a
+	// space-covering design: one sample per (nodes, ppn, algorithm)
+	// stratum at the smallest and largest message sizes, so the forest
+	// never has to extrapolate into a stratum it has never seen —
+	// random forests extrapolate by returning a neighbouring cell's
+	// value, which silently mis-ranks algorithms at the grid corners.
+	// Set SparseSeed to use SeedPoints alone (the ablation baseline).
+	SeedPoints int
+	SparseSeed bool
+
+	// Convergence: training stops when the windowed mean of the
+	// cumulative variance improves by less than Epsilon (relative) from
+	// one Window to the next — the noise-robust form of the paper's
+	// "Window consecutive iterations with a small variance delta"
+	// criterion (retraining the forest adds mean-zero churn, so window
+	// means are compared). Defaults: Window 5, Epsilon 0.05.
+	// MinSamples additionally guards against stopping on an early
+	// plateau (default: 10% of the candidate pool).
+	Window        int
+	Epsilon       float64
+	MinSamples    int
+	MaxIterations int // safety cap (default 400)
+
+	BatchSize int  // candidates per collection wave (default 4)
+	Parallel  bool // use wave collection when the backend supports it
+
+	Seed int64
+
+	// Evaluator, if set, scores the model each iteration (typically
+	// average slowdown against a replay dataset) for the trace figures.
+	Evaluator func(c coll.Collective, sel autotune.Selector) (float64, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.NonP2Every == 0 {
+		c.NonP2Every = 5
+	}
+	if c.SparseSeed && c.SeedPoints == 0 {
+		c.SeedPoints = 4
+	}
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 400
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 4
+	}
+	return c
+}
+
+// Tuner is an ACCLAiM autotuner over a benchmark backend.
+type Tuner struct {
+	cfg     Config
+	backend autotune.Backend
+}
+
+// New builds a tuner.
+func New(cfg Config, backend autotune.Backend) *Tuner {
+	return &Tuner{cfg: cfg.withDefaults(), backend: backend}
+}
+
+// Config returns the tuner's effective (default-filled) configuration.
+func (t *Tuner) Config() Config { return t.cfg }
+
+// Result is a trained ACCLAiM autotuner for one collective.
+type Result struct {
+	Coll        coll.Collective
+	Model       *autotune.Model
+	Ledger      autotune.Ledger
+	Trace       []autotune.TracePoint
+	Order       []autotune.Sample // samples in collection order
+	SeedSamples int               // leading entries of Order from the seed design
+	Converged   bool
+	Parallelism []int // benchmarks per collection wave
+}
+
+// Select implements autotune.Selector.
+func (r *Result) Select(p featspace.Point) string { return r.Model.Select(p) }
+
+// NonP2Share returns the fraction of actively *selected* samples (the
+// post-seed part of the collection order) with non-P2 message sizes —
+// ~1/NonP2Every by construction, the paper's 80-20 split.
+func (r *Result) NonP2Share() float64 {
+	sel := r.Order
+	if r.SeedSamples < len(sel) {
+		sel = sel[r.SeedSamples:]
+	}
+	if len(sel) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range sel {
+		if !featspace.IsP2(s.Candidate.Point.MsgBytes) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(sel))
+}
+
+// Tune runs the ACCLAiM training loop for one collective.
+func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
+	cands := autotune.Candidates(c, t.cfg.Space, t.backend.MaxNodes())
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: no candidates for %v on this backend", c)
+	}
+	rng := rand.New(rand.NewSource(t.cfg.Seed + int64(c)*31337))
+	res := &Result{Coll: c}
+	ts := autotune.NewTrainingSet(c)
+	detector := &stats.StallDetector{Window: t.cfg.Window, MinImprove: t.cfg.Epsilon}
+
+	if err := t.collect(c, t.seedDesign(cands), ts, res); err != nil {
+		return nil, err
+	}
+	res.SeedSamples = len(res.Order)
+
+	selCount := 0
+	for iter := 0; iter < t.cfg.MaxIterations; iter++ {
+		model, err := autotune.TrainModel(t.cfg.Forest, ts)
+		if err != nil {
+			return nil, err
+		}
+		res.Model = model
+
+		// Jackknife variance for every candidate; their sum is the
+		// cumulative variance used in place of a test-set metric.
+		variances := make([]float64, len(cands))
+		var cum float64
+		for i, cand := range cands {
+			variances[i] = model.Variance(cand)
+			cum += variances[i]
+		}
+
+		tp := autotune.TracePoint{
+			Iter:           iter,
+			Samples:        ts.Len(),
+			CollectionTime: res.Ledger.Collection,
+			CumVariance:    cum,
+			Slowdown:       math.NaN(),
+		}
+		if t.cfg.Evaluator != nil {
+			sd, err := t.cfg.Evaluator(c, model)
+			if err != nil {
+				return nil, err
+			}
+			tp.Slowdown = sd
+		}
+		res.Trace = append(res.Trace, tp)
+
+		minSamples := t.cfg.MinSamples
+		if minSamples == 0 {
+			minSamples = len(cands) / 10
+		}
+		// The detector only observes once the sample floor is met, so
+		// an early plateau cannot latch convergence.
+		if ts.Len() >= minSamples && detector.Observe(cum) {
+			res.Converged = true
+			break
+		}
+
+		// Pick the next batch: highest-variance uncollected candidates.
+		batch := t.pickBatch(cands, variances, ts)
+		if len(batch) == 0 {
+			break // feature space exhausted
+		}
+		// Every NonP2Every-th selection trades its P2 message size for a
+		// random non-P2 neighbour (Section IV-B).
+		for i := range batch {
+			selCount++
+			if t.cfg.NonP2Every > 0 && selCount%t.cfg.NonP2Every == 0 {
+				batch[i].Point.MsgBytes = featspace.NonP2Near(rng, batch[i].Point.MsgBytes)
+			}
+		}
+		if err := t.collect(c, batch, ts, res); err != nil {
+			return nil, err
+		}
+	}
+
+	if res.Model == nil {
+		model, err := autotune.TrainModel(t.cfg.Forest, ts)
+		if err != nil {
+			return nil, err
+		}
+		res.Model = model
+	}
+	return res, nil
+}
+
+// seedDesign builds the initial training batch. Default: the stratified
+// space-covering design — for every (nodes, ppn, algorithm) stratum,
+// the candidates at the smallest and largest grid message sizes — plus
+// any extra evenly spaced SeedPoints. With SparseSeed, only the evenly
+// spaced points are used.
+func (t *Tuner) seedDesign(cands []autotune.Candidate) []autotune.Candidate {
+	var seeds []autotune.Candidate
+	if !t.cfg.SparseSeed {
+		// The message axis is shared across strata (the grid is a cross
+		// product), so the per-stratum extremes are exactly the
+		// candidates at the global smallest and largest message sizes.
+		// Seeding both extremes is deliberately front-loaded cost: the
+		// paper's own Figure 10 notes a gap at the left of its graphs
+		// where "the first training point was expensive to collect".
+		minMsg, maxMsg := cands[0].Point.MsgBytes, cands[0].Point.MsgBytes
+		for _, cand := range cands {
+			if cand.Point.MsgBytes < minMsg {
+				minMsg = cand.Point.MsgBytes
+			}
+			if cand.Point.MsgBytes > maxMsg {
+				maxMsg = cand.Point.MsgBytes
+			}
+		}
+		for _, cand := range cands {
+			if m := cand.Point.MsgBytes; m == minMsg || m == maxMsg {
+				seeds = append(seeds, cand)
+			}
+		}
+	}
+	nExtra := t.cfg.SeedPoints
+	if nExtra > len(cands) {
+		nExtra = len(cands)
+	}
+	for i := 0; i < nExtra; i++ {
+		seeds = append(seeds, cands[i*(len(cands)-1)/max(nExtra-1, 1)])
+	}
+	if len(seeds) == 0 {
+		seeds = append(seeds, cands[0])
+	}
+	return seeds
+}
+
+// pickBatch returns up to BatchSize uncollected candidates in descending
+// variance order.
+func (t *Tuner) pickBatch(cands []autotune.Candidate, variances []float64, ts *autotune.TrainingSet) []autotune.Candidate {
+	type scored struct {
+		idx int
+		v   float64
+	}
+	var open []scored
+	for i, cand := range cands {
+		if !ts.Has(cand) {
+			open = append(open, scored{i, variances[i]})
+		}
+	}
+	sort.Slice(open, func(a, b int) bool {
+		if open[a].v != open[b].v {
+			return open[a].v > open[b].v
+		}
+		return open[a].idx < open[b].idx
+	})
+	k := t.cfg.BatchSize
+	if !t.parallel() {
+		k = 1
+	}
+	if k > len(open) {
+		k = len(open)
+	}
+	batch := make([]autotune.Candidate, k)
+	for i := 0; i < k; i++ {
+		batch[i] = cands[open[i].idx]
+	}
+	return batch
+}
+
+func (t *Tuner) parallel() bool {
+	if !t.cfg.Parallel {
+		return false
+	}
+	_, ok := t.backend.(autotune.WaveBackend)
+	return ok
+}
+
+// collect benchmarks a batch — as a topology-scheduled parallel wave
+// when enabled — and charges the machine time to the ledger.
+func (t *Tuner) collect(c coll.Collective, batch []autotune.Candidate, ts *autotune.TrainingSet, res *Result) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if wb, ok := t.backend.(autotune.WaveBackend); ok && t.cfg.Parallel {
+		specs := make([]benchmark.Spec, len(batch))
+		for i, cand := range batch {
+			specs[i] = cand.Spec(c)
+		}
+		ms, wall, err := wb.MeasureWave(specs)
+		if err != nil {
+			return fmt.Errorf("core: wave collection: %w", err)
+		}
+		for _, m := range ms {
+			cand := candidateFor(m.Spec)
+			ts.Add(cand, m.MeanTime, m.WallTime)
+			res.Order = append(res.Order, autotune.Sample{Candidate: cand, Mean: m.MeanTime, Wall: m.WallTime})
+		}
+		res.Ledger.Collection += wall
+		res.Parallelism = append(res.Parallelism, len(batch))
+		return nil
+	}
+	for _, cand := range batch {
+		m, err := t.backend.Measure(cand.Spec(c))
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		ts.Add(cand, m.MeanTime, m.WallTime)
+		res.Order = append(res.Order, autotune.Sample{Candidate: cand, Mean: m.MeanTime, Wall: m.WallTime})
+		res.Ledger.Collection += m.WallTime
+		res.Parallelism = append(res.Parallelism, 1)
+	}
+	return nil
+}
+
+// TuneAll trains every collective in the list (the user's "collective
+// list" from Section V) and returns the results keyed by collective.
+func (t *Tuner) TuneAll(colls []coll.Collective) (map[coll.Collective]*Result, error) {
+	if colls == nil {
+		colls = coll.Collectives()
+	}
+	out := make(map[coll.Collective]*Result, len(colls))
+	for _, c := range colls {
+		r, err := t.Tune(c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = r
+	}
+	return out, nil
+}
+
+// BuildRulesFile lowers trained models into the MPICH-style JSON
+// selection file (Section V), one table per tuned collective, using the
+// Figure 9 midpoint logic over the tuner's grid.
+func (t *Tuner) BuildRulesFile(results map[coll.Collective]*Result, machine string) (*rules.File, error) {
+	f := rules.NewFile(machine)
+	f.Comment = "generated by ACCLAiM (Go reproduction)"
+	for c, r := range results {
+		sel := r.Model.Select
+		table := rules.BuildTable(c.String(), t.cfg.Space, sel)
+		if err := table.Validate(); err != nil {
+			return nil, err
+		}
+		f.Tables[c.String()] = table
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// LearningCurve trains unified models on prefixes of a completed run's
+// selection order and evaluates each (the Figure 11 series).
+func (t *Tuner) LearningCurve(res *Result, fracs []float64,
+	eval func(autotune.Selector) (float64, error)) ([]autotune.CurvePoint, error) {
+
+	return autotune.LearningCurve(res.Coll, res.Order, fracs,
+		func(ts *autotune.TrainingSet) (autotune.Selector, error) {
+			return autotune.TrainModel(t.cfg.Forest, ts)
+		}, eval)
+}
+
+// candidateFor reconstructs a candidate (with algorithm index) from a
+// measured spec.
+func candidateFor(spec benchmark.Spec) autotune.Candidate {
+	idx, _ := coll.AlgIndex(spec.Coll, spec.Alg)
+	return autotune.Candidate{Point: spec.Point, Alg: spec.Alg, AlgIdx: idx}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

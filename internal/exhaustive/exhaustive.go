@@ -1,0 +1,66 @@
+// Package exhaustive implements the brute-force tuning strategy of
+// production tools like Intel MPITune and OPTO (Chaarawi et al.), which
+// the paper's Section I positions ML autotuners against: benchmark
+// every algorithm at every scenario of interest and pick the winner.
+// Selections are exact for the scenarios benchmarked, but the cost
+// grows with the full scenario-algorithm cross product and nothing is
+// learned about unseen scenarios — the paper's argument for ML.
+package exhaustive
+
+import (
+	"fmt"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+)
+
+// Result is a tuned scenario table for one collective.
+type Result struct {
+	Coll     coll.Collective
+	Best     map[featspace.Point]string // winner per benchmarked scenario
+	Ledger   autotune.Ledger
+	Fallback func(featspace.Point) string // for scenarios never benchmarked
+}
+
+// Select returns the benchmarked winner, or the fallback (the library
+// default, typically) for scenarios outside the tuned set.
+func (r *Result) Select(p featspace.Point) string {
+	if alg, ok := r.Best[p]; ok {
+		return alg
+	}
+	if r.Fallback != nil {
+		return r.Fallback(p)
+	}
+	return coll.AlgorithmNames(r.Coll)[0]
+}
+
+// Tune benchmarks every algorithm at every scenario and records the
+// winners. The machine time charged is the full cross product — the
+// cost that makes this strategy impractical at scale (Section I).
+func Tune(backend autotune.Backend, c coll.Collective, scenarios []featspace.Point,
+	fallback func(featspace.Point) string) (*Result, error) {
+
+	res := &Result{Coll: c, Best: make(map[featspace.Point]string, len(scenarios)), Fallback: fallback}
+	for _, p := range scenarios {
+		if !p.Valid() || p.Nodes > backend.MaxNodes() {
+			continue
+		}
+		bestAlg, bestT := "", 0.0
+		for _, alg := range coll.AlgorithmNames(c) {
+			m, err := backend.Measure(benchmark.Spec{Coll: c, Alg: alg, Point: p})
+			if err != nil {
+				return nil, fmt.Errorf("exhaustive: %w", err)
+			}
+			res.Ledger.Collection += m.WallTime
+			if bestAlg == "" || m.MeanTime < bestT {
+				bestAlg, bestT = alg, m.MeanTime
+			}
+		}
+		if bestAlg != "" {
+			res.Best[p] = bestAlg
+		}
+	}
+	return res, nil
+}

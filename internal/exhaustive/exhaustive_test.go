@@ -1,0 +1,98 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/dataset"
+	"acclaim/internal/featspace"
+	"acclaim/internal/netmodel"
+)
+
+func testSetup(t *testing.T) (*dataset.Replay, featspace.Space) {
+	t.Helper()
+	space := featspace.Space{Nodes: []int{2, 4, 8}, PPNs: []int{1, 2}, Msgs: []int{8, 1024, 65536}}
+	r, err := benchmark.NewRunner(netmodel.DefaultParams(), netmodel.DefaultEnv(),
+		cluster.TopologyTwoPairs(), benchmark.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Collect(r, space.Points(), dataset.CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dataset.Replay{DS: ds, Alloc: cluster.TopologyTwoPairs()}, space
+}
+
+func TestTuneIsExactOnScenarios(t *testing.T) {
+	rp, space := testSetup(t)
+	res, err := Tune(rp, coll.Bcast, space.Points(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive selections must be optimal: slowdown exactly 1.
+	sd, err := autotune.EvalSlowdown(rp.DS, coll.Bcast, space.Points(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd != 1 {
+		t.Errorf("exhaustive slowdown = %v, want exactly 1", sd)
+	}
+}
+
+func TestTuneChargesFullCrossProduct(t *testing.T) {
+	rp, space := testSetup(t)
+	res, err := Tune(rp, coll.Reduce, space.Points(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, p := range space.Points() {
+		for _, alg := range coll.AlgorithmNames(coll.Reduce) {
+			m, err := rp.Measure(benchmark.Spec{Coll: coll.Reduce, Alg: alg, Point: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += m.WallTime
+		}
+	}
+	if res.Ledger.Collection != want {
+		t.Errorf("collection = %v, want %v (the whole cross product)", res.Ledger.Collection, want)
+	}
+}
+
+func TestFallbackForUnseenScenarios(t *testing.T) {
+	rp, space := testSetup(t)
+	res, err := Tune(rp, coll.Bcast, space.Points(), func(featspace.Point) string { return "binomial" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseen := featspace.Point{Nodes: 4, PPN: 2, MsgBytes: 12345}
+	if got := res.Select(unseen); got != "binomial" {
+		t.Errorf("fallback selection = %q", got)
+	}
+	// Without a fallback, it degrades to the first registered algorithm.
+	res.Fallback = nil
+	if got := res.Select(unseen); got != coll.AlgorithmNames(coll.Bcast)[0] {
+		t.Errorf("no-fallback selection = %q", got)
+	}
+}
+
+func TestTuneSkipsInfeasible(t *testing.T) {
+	rp, _ := testSetup(t)
+	pts := []featspace.Point{
+		{Nodes: 2, PPN: 1, MsgBytes: 8},
+		{Nodes: 9999, PPN: 1, MsgBytes: 8}, // beyond the allocation
+		{Nodes: 1, PPN: 1, MsgBytes: 8},    // single rank
+	}
+	res, err := Tune(rp, coll.Bcast, pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) != 1 {
+		t.Errorf("tuned %d scenarios, want 1", len(res.Best))
+	}
+}

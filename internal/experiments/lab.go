@@ -1,0 +1,167 @@
+// Package experiments reproduces every figure of the ACCLAiM paper's
+// evaluation. Each FigNN function regenerates the corresponding
+// figure's data series from the simulated testbed; the returned result
+// types render the same rows/series the paper plots. cmd/experiments
+// and the repository-root benchmarks drive these functions.
+//
+// The quantitative targets are shapes, not absolute numbers (the
+// substrate is a simulator, not Theta): who wins, by roughly what
+// factor, and where crossovers fall. EXPERIMENTS.md records
+// paper-vs-measured for every figure.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/dataset"
+	"acclaim/internal/featspace"
+	"acclaim/internal/forest"
+	"acclaim/internal/netmodel"
+)
+
+// Lab is the shared simulated testbed: the paper's Figure 1(a)
+// methodology. It owns the replay dataset (exhaustive P2 grid plus the
+// Section III-B non-P2 test sets) and a live runner for configurations
+// outside the table.
+type Lab struct {
+	Space        featspace.Space
+	DS           *dataset.Dataset
+	NonP2Nodes   []featspace.Point // "Non-P2 Nodes" test set (Figure 5)
+	NonP2Msgs    []featspace.Point // "Non-P2 Message Size" test set
+	Alloc        cluster.Allocation
+	Runner       *benchmark.Runner
+	Seed         int64
+	ForestConfig forest.Config
+}
+
+// SimSpace returns the default simulated-experiment grid, mirroring the
+// paper's precollected dataset bounds (64 nodes, message sizes up to
+// 1 MiB) with processes-per-node capped at 8 to keep simulator runs
+// tractable (the paper's trends are insensitive to the cap; see
+// DESIGN.md).
+func SimSpace() featspace.Space { return featspace.P2Grid(64, 8, 8, 1<<20) }
+
+// TinySpace returns a small grid for unit tests.
+func TinySpace() featspace.Space {
+	return featspace.Space{
+		Nodes: []int{2, 4, 8, 16},
+		PPNs:  []int{1, 2},
+		Msgs:  []int{8, 128, 2048, 32768, 1 << 19},
+	}
+}
+
+// NewLab builds a testbed over the grid: it collects (or loads from
+// cachePath, when non-empty and present) the exhaustive replay dataset
+// including both non-P2 test sets. Collection parallelises across CPU
+// cores; the resulting dataset is deterministic for a given seed.
+func NewLab(space featspace.Space, cachePath string, seed int64) (*Lab, error) {
+	alloc := cluster.TopologyTwoPairs()
+	runner, err := benchmark.NewRunner(netmodel.DefaultParams(), netmodel.DefaultEnv(), alloc,
+		benchmark.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 17))
+	lab := &Lab{
+		Space:        space,
+		NonP2Nodes:   dataset.NonP2NodesPoints(rng, space),
+		NonP2Msgs:    dataset.NonP2MsgPoints(rng, space),
+		Alloc:        alloc,
+		Runner:       runner,
+		Seed:         seed,
+		ForestConfig: forest.Config{NTrees: 30, Seed: seed + 1},
+	}
+	if cachePath != "" {
+		if ds, err := dataset.Load(cachePath); err == nil {
+			lab.DS = ds
+			return lab, nil
+		}
+	}
+	pts := append(append(space.Points(), lab.NonP2Nodes...), lab.NonP2Msgs...)
+	ds, err := dataset.Collect(runner, pts, dataset.CollectOptions{})
+	if err != nil {
+		return nil, err
+	}
+	lab.DS = ds
+	if cachePath != "" {
+		if err := ds.Save(cachePath); err != nil {
+			// The cache is an optimisation; losing it is not fatal.
+			fmt.Fprintf(os.Stderr, "experiments: could not cache dataset: %v\n", err)
+		}
+	}
+	return lab, nil
+}
+
+// Replay returns a replay backend over the lab's dataset with the given
+// wave-scheduling topology (the lab allocation by default).
+func (l *Lab) Replay(alloc cluster.Allocation) *dataset.Replay {
+	if alloc.Machine.Nodes == 0 {
+		alloc = l.Alloc
+	}
+	return &dataset.Replay{DS: l.DS, Alloc: alloc}
+}
+
+// Backend returns the default experiment backend: replay with live
+// fallback for configurations outside the precollected table (ACCLAiM's
+// randomly drawn non-P2 message sizes).
+func (l *Lab) Backend() autotune.WaveBackend {
+	return &hybridBackend{lab: l, replay: l.Replay(cluster.Allocation{})}
+}
+
+// Eval returns an average-slowdown evaluator over the given points.
+func (l *Lab) Eval(pts []featspace.Point) func(coll.Collective, autotune.Selector) (float64, error) {
+	return func(c coll.Collective, sel autotune.Selector) (float64, error) {
+		return autotune.EvalSlowdown(l.DS, c, pts, sel)
+	}
+}
+
+// EvalFor returns a single-collective evaluator closure.
+func (l *Lab) EvalFor(c coll.Collective, pts []featspace.Point) func(autotune.Selector) (float64, error) {
+	return func(sel autotune.Selector) (float64, error) {
+		return autotune.EvalSlowdown(l.DS, c, pts, sel)
+	}
+}
+
+// hybridBackend serves measurements from the dataset and falls back to
+// the live simulator for missing configurations, caching the result so
+// the experiment stays a "precollected data" replay afterwards.
+type hybridBackend struct {
+	lab    *Lab
+	replay *dataset.Replay
+	mu     sync.Mutex
+}
+
+func (h *hybridBackend) Measure(spec benchmark.Spec) (benchmark.Measurement, error) {
+	if m, err := h.replay.Measure(spec); err == nil {
+		return m, nil
+	}
+	m, err := h.lab.Runner.Run(spec)
+	if err != nil {
+		return benchmark.Measurement{}, err
+	}
+	h.mu.Lock()
+	h.lab.DS.Put(dataset.Key{Coll: spec.Coll, Alg: spec.Alg, Point: spec.Point},
+		dataset.Entry{MeanTime: m.MeanTime, WallTime: m.WallTime})
+	h.mu.Unlock()
+	return m, nil
+}
+
+func (h *hybridBackend) MaxNodes() int { return h.replay.MaxNodes() }
+
+func (h *hybridBackend) MeasureWave(specs []benchmark.Spec) ([]benchmark.Measurement, float64, error) {
+	// Fill any table misses first, then let the replay backend account
+	// for the wave timing.
+	for _, s := range specs {
+		if _, err := h.Measure(s); err != nil {
+			return nil, 0, err
+		}
+	}
+	return h.replay.MeasureWave(specs)
+}

@@ -1,0 +1,255 @@
+// Package fact implements the FACT autotuner (Wilkins et al., ExaMPI
+// 2021) — the previous state of the art the paper improves on
+// (Section II-C1). FACT uses active learning: a separate surrogate
+// model (DeepHyper in the original; an independently configured random
+// forest here — see DESIGN.md) picks the next training point by its own
+// uncertainty, data is collected strictly sequentially and only at
+// power-of-two feature values, and convergence is judged by average
+// slowdown on a held-out test set covering 20% of the feature space,
+// whose collection costs 6–11x the training data itself (Figure 6).
+package fact
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/coll"
+	"acclaim/internal/dataset"
+	"acclaim/internal/featspace"
+	"acclaim/internal/forest"
+	"acclaim/internal/stats"
+)
+
+// Config parameterises the FACT tuner.
+type Config struct {
+	Space        featspace.Space
+	Forest       forest.Config // final per-algorithm models
+	Surrogate    forest.Config // the surrogate (point-selection) model
+	SeedPoints   int           // initial random samples (default 5)
+	MaxPoints    int           // cap on training samples (default: pool size)
+	TestFraction float64       // held-out share of feature points (default 0.20)
+	Criterion    float64       // avg-slowdown convergence bound (default 1.03)
+	CheckEvery   int           // convergence-check cadence in iterations (default 1)
+	Seed         int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SeedPoints == 0 {
+		c.SeedPoints = 5
+	}
+	if c.TestFraction == 0 {
+		c.TestFraction = 0.20
+	}
+	if c.Criterion == 0 {
+		c.Criterion = stats.ConvergenceCriterion
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 1
+	}
+	if c.Surrogate.NTrees == 0 {
+		c.Surrogate = c.Forest
+		c.Surrogate.Seed = c.Forest.Seed + 7919 // an independent ensemble
+	}
+	return c
+}
+
+// Tuner is a FACT autotuner over a benchmark backend.
+type Tuner struct {
+	cfg     Config
+	backend autotune.Backend
+}
+
+// New builds a tuner.
+func New(cfg Config, backend autotune.Backend) *Tuner {
+	return &Tuner{cfg: cfg.withDefaults(), backend: backend}
+}
+
+// Result is a trained FACT autotuner for one collective.
+type Result struct {
+	Coll      coll.Collective
+	Model     *autotune.PerAlgModel
+	Ledger    autotune.Ledger       // Collection = training data, Testing = test set
+	Trace     []autotune.TracePoint // per-iteration slowdown on the held-out test set
+	Order     []autotune.Sample     // training samples in selection order
+	Converged bool
+	TestSet   []featspace.Point // the held-out points
+}
+
+// Select implements autotune.Selector.
+func (r *Result) Select(p featspace.Point) string { return r.Model.Select(p) }
+
+// splitPoints partitions the grid's points into train and test pools.
+func (t *Tuner) splitPoints(c coll.Collective, rng *rand.Rand) (train, test []featspace.Point) {
+	var pts []featspace.Point
+	for _, p := range t.cfg.Space.Points() {
+		if p.Valid() && p.Nodes <= t.backend.MaxNodes() {
+			pts = append(pts, p)
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	nTest := int(t.cfg.TestFraction * float64(len(pts)))
+	if nTest < 1 {
+		nTest = 1
+	}
+	test = append(test, pts[:nTest]...)
+	train = append(train, pts[nTest:]...)
+	return train, test
+}
+
+// collectTestSet benchmarks every algorithm at every test point — the
+// expensive step the paper's Figure 6 indicts — and returns the results
+// as a ground-truth table plus the machine time consumed.
+func (t *Tuner) collectTestSet(c coll.Collective, test []featspace.Point) (*dataset.Dataset, float64, error) {
+	ds := dataset.New()
+	var wall float64
+	for _, p := range test {
+		for _, alg := range coll.AlgorithmNames(c) {
+			m, err := t.backend.Measure(autotune.Candidate{Point: p, Alg: alg}.Spec(c))
+			if err != nil {
+				return nil, 0, fmt.Errorf("fact: test set: %w", err)
+			}
+			ds.Put(dataset.Key{Coll: c, Alg: alg, Point: p},
+				dataset.Entry{MeanTime: m.MeanTime, WallTime: m.WallTime})
+			wall += m.WallTime
+		}
+	}
+	return ds, wall, nil
+}
+
+// Tune runs the full FACT procedure for one collective.
+func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
+	rng := rand.New(rand.NewSource(t.cfg.Seed + int64(c)*104729))
+	trainPts, testPts := t.splitPoints(c, rng)
+	if len(trainPts) == 0 {
+		return nil, fmt.Errorf("fact: no training points for %v", c)
+	}
+
+	testDS, testWall, err := t.collectTestSet(c, testPts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Coll: c, TestSet: testPts}
+	res.Ledger.Testing = testWall
+
+	// Candidate pool: every (train point, algorithm) pair.
+	var pool []autotune.Candidate
+	for _, p := range trainPts {
+		for ai, a := range coll.AlgorithmNames(c) {
+			pool = append(pool, autotune.Candidate{Point: p, Alg: a, AlgIdx: ai})
+		}
+	}
+	maxPoints := t.cfg.MaxPoints
+	if maxPoints <= 0 || maxPoints > len(pool) {
+		maxPoints = len(pool)
+	}
+
+	ts := autotune.NewTrainingSet(c)
+	collect := func(cand autotune.Candidate) error {
+		m, err := t.backend.Measure(cand.Spec(c))
+		if err != nil {
+			return fmt.Errorf("fact: %w", err)
+		}
+		ts.Add(cand, m.MeanTime, m.WallTime)
+		res.Ledger.Collection += m.WallTime
+		res.Order = append(res.Order, autotune.Sample{Candidate: cand, Mean: m.MeanTime, Wall: m.WallTime})
+		return nil
+	}
+
+	// Seed with random candidates.
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	nSeed := t.cfg.SeedPoints
+	if nSeed > len(pool) {
+		nSeed = len(pool)
+	}
+	for _, cand := range pool[:nSeed] {
+		if err := collect(cand); err != nil {
+			return nil, err
+		}
+	}
+
+	for iter := 0; ts.Len() < maxPoints; iter++ {
+		// The surrogate — FACT's stand-in for DeepHyper — picks the next
+		// point by its own jackknife uncertainty. Note the structural
+		// inefficiency the paper calls out: this is a second model,
+		// trained on the same data, whose uncertainty is not the
+		// deployed model's.
+		surrogate, err := autotune.TrainModel(t.cfg.Surrogate, ts)
+		if err != nil {
+			return nil, err
+		}
+		next, ok := argmaxVariance(surrogate, pool, ts)
+		if !ok {
+			break // pool exhausted
+		}
+		if err := collect(next); err != nil {
+			return nil, err
+		}
+		if (iter+1)%t.cfg.CheckEvery != 0 {
+			continue
+		}
+
+		// Train the deployed per-algorithm models and test convergence
+		// on the held-out set.
+		model, err := autotune.TrainPerAlg(t.cfg.Forest, ts)
+		if err != nil {
+			return nil, err
+		}
+		sd, err := autotune.EvalSlowdown(testDS, c, testPts, model)
+		if err != nil {
+			return nil, err
+		}
+		res.Model = model
+		res.Trace = append(res.Trace, autotune.TracePoint{
+			Iter:           iter,
+			Samples:        ts.Len(),
+			CollectionTime: res.Ledger.Collection,
+			CumVariance:    math.NaN(),
+			Slowdown:       sd,
+		})
+		if sd <= t.cfg.Criterion {
+			res.Converged = true
+			break
+		}
+	}
+	if res.Model == nil {
+		model, err := autotune.TrainPerAlg(t.cfg.Forest, ts)
+		if err != nil {
+			return nil, err
+		}
+		res.Model = model
+	}
+	return res, nil
+}
+
+// argmaxVariance returns the uncollected candidate with the highest
+// surrogate variance. Ties break toward the earlier pool position for
+// determinism.
+func argmaxVariance(m *autotune.Model, pool []autotune.Candidate, ts *autotune.TrainingSet) (autotune.Candidate, bool) {
+	best := autotune.Candidate{}
+	bestV := math.Inf(-1)
+	found := false
+	for _, cand := range pool {
+		if ts.Has(cand) {
+			continue
+		}
+		if v := m.Variance(cand); v > bestV {
+			best, bestV, found = cand, v, true
+		}
+	}
+	return best, found
+}
+
+// LearningCurve trains per-algorithm models on prefixes of a completed
+// run's selection order and evaluates each — FACT's Figure 3/5 series.
+func (t *Tuner) LearningCurve(res *Result, fracs []float64,
+	eval func(autotune.Selector) (float64, error)) ([]autotune.CurvePoint, error) {
+
+	sort.Float64s(fracs)
+	return autotune.LearningCurve(res.Coll, res.Order, fracs,
+		func(ts *autotune.TrainingSet) (autotune.Selector, error) {
+			return autotune.TrainPerAlg(t.cfg.Forest, ts)
+		}, eval)
+}

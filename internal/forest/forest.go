@@ -1,0 +1,261 @@
+// Package forest is a from-scratch random-forest regressor — the model
+// family ACCLAiM uses (the paper uses scikit-learn's
+// RandomForestRegressor; Section V). It provides CART regression trees
+// with variance-reduction splits, bootstrap bagging, optional feature
+// subsampling, and the jackknife uncertainty estimate over the ensemble
+// (Wager, Hastie & Efron), which is the signal ACCLAiM's active
+// learning uses to pick training points.
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"acclaim/internal/stats"
+)
+
+// Config holds the forest hyperparameters. Zero fields take defaults.
+type Config struct {
+	NTrees   int   // ensemble size (default 30)
+	MaxDepth int   // maximum tree depth (default 14)
+	MinLeaf  int   // minimum samples per leaf (default 1)
+	MTry     int   // features considered per split (default: all)
+	Seed     int64 // RNG seed for bootstrap and feature sampling
+}
+
+func (c Config) withDefaults(nFeatures int) Config {
+	if c.NTrees == 0 {
+		c.NTrees = 30
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 14
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 1
+	}
+	if c.MTry == 0 || c.MTry > nFeatures {
+		c.MTry = nFeatures
+	}
+	return c
+}
+
+// node is one tree node in a flat arena. Leaves have left == -1.
+type node struct {
+	feature int
+	thresh  float64
+	left    int
+	right   int
+	value   float64
+}
+
+// tree is a CART regression tree.
+type tree struct {
+	nodes []node
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := t.nodes[i]
+		if n.left == -1 {
+			return n.value
+		}
+		if x[n.feature] <= n.thresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Forest is a trained random-forest regressor. It is immutable and safe
+// for concurrent prediction.
+type Forest struct {
+	cfg       Config
+	trees     []tree
+	nFeatures int
+}
+
+// Train fits a forest on X (rows are samples) and y. All rows must have
+// equal length. Training is deterministic for a given Config.Seed.
+func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
+	if len(x) == 0 {
+		return nil, errors.New("forest: no training samples")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("forest: %d samples but %d targets", len(x), len(y))
+	}
+	nf := len(x[0])
+	if nf == 0 {
+		return nil, errors.New("forest: samples have no features")
+	}
+	for i, row := range x {
+		if len(row) != nf {
+			return nil, fmt.Errorf("forest: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	cfg = cfg.withDefaults(nf)
+	f := &Forest{cfg: cfg, trees: make([]tree, cfg.NTrees), nFeatures: nf}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for ti := range f.trees {
+		// Bootstrap sample.
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		b := &builder{
+			x: x, y: y, cfg: cfg,
+			rng: rand.New(rand.NewSource(rng.Int63())),
+		}
+		b.grow(idx, 0)
+		f.trees[ti] = tree{nodes: b.nodes}
+	}
+	return f, nil
+}
+
+// builder grows one tree.
+type builder struct {
+	x     [][]float64
+	y     []float64
+	cfg   Config
+	rng   *rand.Rand
+	nodes []node
+}
+
+// grow builds the subtree over the samples in idx and returns its node
+// index.
+func (b *builder) grow(idx []int, depth int) int {
+	mean, sse := meanSSE(b.y, idx)
+	self := len(b.nodes)
+	b.nodes = append(b.nodes, node{left: -1, right: -1, value: mean})
+	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf || sse <= 1e-12 {
+		return self
+	}
+	feat, thresh, ok := b.bestSplit(idx, sse)
+	if !ok {
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return self
+	}
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.nodes[self].feature = feat
+	b.nodes[self].thresh = thresh
+	b.nodes[self].left = l
+	b.nodes[self].right = r
+	return self
+}
+
+// bestSplit scans MTry random features for the threshold minimizing the
+// children's summed SSE. Returns ok=false if no split improves on the
+// parent.
+func (b *builder) bestSplit(idx []int, parentSSE float64) (feat int, thresh float64, ok bool) {
+	nf := len(b.x[0])
+	feats := b.rng.Perm(nf)[:b.cfg.MTry]
+	bestSSE := parentSSE - 1e-12
+	type fv struct{ v, y float64 }
+	vals := make([]fv, len(idx))
+	for _, f := range feats {
+		for j, i := range idx {
+			vals[j] = fv{b.x[i][f], b.y[i]}
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		// Prefix sums let each candidate threshold be scored in O(1).
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, e := range vals {
+			sumR += e.y
+			sumSqR += e.y * e.y
+		}
+		nL := 0
+		nR := len(vals)
+		for j := 0; j < len(vals)-1; j++ {
+			yv := vals[j].y
+			sumL += yv
+			sumSqL += yv * yv
+			sumR -= yv
+			sumSqR -= yv * yv
+			nL++
+			nR--
+			if vals[j].v == vals[j+1].v {
+				continue // cannot split between equal values
+			}
+			if nL < b.cfg.MinLeaf || nR < b.cfg.MinLeaf {
+				continue
+			}
+			sse := (sumSqL - sumL*sumL/float64(nL)) + (sumSqR - sumR*sumR/float64(nR))
+			if sse < bestSSE {
+				bestSSE = sse
+				feat = f
+				thresh = (vals[j].v + vals[j+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// NumFeatures returns the feature dimensionality the forest was trained
+// on.
+func (f *Forest) NumFeatures() int { return f.nFeatures }
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Predict returns the ensemble mean prediction for x. It panics if x has
+// the wrong dimensionality.
+func (f *Forest) Predict(x []float64) float64 {
+	f.check(x)
+	var s float64
+	for i := range f.trees {
+		s += f.trees[i].predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// TreePredictions returns every tree's prediction for x — the vector p
+// of the paper's Section IV-A jackknife procedure.
+func (f *Forest) TreePredictions(x []float64) []float64 {
+	f.check(x)
+	out := make([]float64, len(f.trees))
+	for i := range f.trees {
+		out[i] = f.trees[i].predict(x)
+	}
+	return out
+}
+
+// JackknifeVariance computes the jackknife variance of the ensemble's
+// predictions at x: the model's uncertainty there (Section IV-A,
+// following Wager et al.).
+func (f *Forest) JackknifeVariance(x []float64) float64 {
+	return stats.JackknifeVariance(f.TreePredictions(x))
+}
+
+func (f *Forest) check(x []float64) {
+	if len(x) != f.nFeatures {
+		panic(fmt.Sprintf("forest: predicting with %d features, trained on %d", len(x), f.nFeatures))
+	}
+}

@@ -1,0 +1,92 @@
+package heuristic
+
+import (
+	"testing"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+)
+
+func TestSelectAlwaysValid(t *testing.T) {
+	// Every selection must name a real algorithm of the collective.
+	pts := featspace.Space{
+		Nodes: []int{2, 3, 8, 17, 64, 128},
+		PPNs:  []int{1, 2, 16},
+		Msgs:  []int{8, 100, 2048, 12288, 65536, 524288, 1 << 20},
+	}.Points()
+	for _, c := range coll.Collectives() {
+		for _, p := range pts {
+			alg := Select(c, p)
+			if _, ok := coll.AlgIndex(c, alg); !ok {
+				t.Fatalf("Select(%v, %v) = %q: not an algorithm of %v", c, p, alg, c)
+			}
+		}
+	}
+}
+
+func TestBcastCutoffs(t *testing.T) {
+	small := featspace.Point{Nodes: 16, PPN: 1, MsgBytes: 256}
+	if got := Select(coll.Bcast, small); got != "binomial" {
+		t.Errorf("small bcast = %s", got)
+	}
+	mediumP2 := featspace.Point{Nodes: 16, PPN: 1, MsgBytes: 65536}
+	if got := Select(coll.Bcast, mediumP2); got != "scatter_recursive_doubling_allgather" {
+		t.Errorf("medium P2 bcast = %s", got)
+	}
+	mediumNonP2 := featspace.Point{Nodes: 17, PPN: 1, MsgBytes: 65536}
+	if got := Select(coll.Bcast, mediumNonP2); got != "scatter_ring_allgather" {
+		t.Errorf("medium non-P2 bcast = %s", got)
+	}
+	large := featspace.Point{Nodes: 16, PPN: 1, MsgBytes: 1 << 20}
+	if got := Select(coll.Bcast, large); got != "scatter_ring_allgather" {
+		t.Errorf("large bcast = %s", got)
+	}
+	tinyComm := featspace.Point{Nodes: 2, PPN: 2, MsgBytes: 1 << 20}
+	if got := Select(coll.Bcast, tinyComm); got != "binomial" {
+		t.Errorf("tiny-communicator bcast = %s", got)
+	}
+}
+
+func TestReductionCutoffs(t *testing.T) {
+	small := featspace.Point{Nodes: 8, PPN: 2, MsgBytes: 400}
+	large := featspace.Point{Nodes: 8, PPN: 2, MsgBytes: 1 << 18}
+	nonP2 := featspace.Point{Nodes: 9, PPN: 1, MsgBytes: 1 << 18}
+	if got := Select(coll.Allreduce, small); got != "recursive_doubling" {
+		t.Errorf("small allreduce = %s", got)
+	}
+	if got := Select(coll.Allreduce, large); got != "reduce_scatter_allgather" {
+		t.Errorf("large allreduce = %s", got)
+	}
+	if got := Select(coll.Allreduce, nonP2); got != "recursive_doubling" {
+		t.Errorf("non-P2 allreduce = %s", got)
+	}
+	if got := Select(coll.Reduce, small); got != "binomial" {
+		t.Errorf("small reduce = %s", got)
+	}
+	if got := Select(coll.Reduce, large); got != "scatter_gather" {
+		t.Errorf("large reduce = %s", got)
+	}
+}
+
+func TestAllgatherCutoffs(t *testing.T) {
+	shortP2 := featspace.Point{Nodes: 4, PPN: 2, MsgBytes: 64}
+	if got := Select(coll.Allgather, shortP2); got != "recursive_doubling" {
+		t.Errorf("short P2 allgather = %s", got)
+	}
+	shortNonP2 := featspace.Point{Nodes: 3, PPN: 1, MsgBytes: 64}
+	if got := Select(coll.Allgather, shortNonP2); got != "brucks" {
+		t.Errorf("short non-P2 allgather = %s", got)
+	}
+	long := featspace.Point{Nodes: 64, PPN: 16, MsgBytes: 65536}
+	if got := Select(coll.Allgather, long); got != "ring" {
+		t.Errorf("long allgather = %s", got)
+	}
+}
+
+func TestSelectorAdapter(t *testing.T) {
+	sel := Selector(coll.Bcast)
+	p := featspace.Point{Nodes: 4, PPN: 1, MsgBytes: 8}
+	if sel(p) != Select(coll.Bcast, p) {
+		t.Error("Selector disagrees with Select")
+	}
+}

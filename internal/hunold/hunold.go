@@ -1,0 +1,119 @@
+// Package hunold implements the first ML collective autotuner design
+// (Hunold et al., CLUSTER 2020; the paper's Section II-C1 baseline):
+// one random-forest model per (collective, algorithm), trained on a
+// uniformly random sample of the feature space. Its weakness — random
+// points carry little information, so large fractions of the space must
+// be benchmarked — is exactly what Figure 3 shows and what FACT and
+// ACCLAiM improve on.
+package hunold
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+	"acclaim/internal/forest"
+)
+
+// Config parameterises the Hunold tuner.
+type Config struct {
+	Space  featspace.Space // the P2 candidate grid
+	Forest forest.Config   // per-algorithm model hyperparameters
+	Seed   int64
+}
+
+// Tuner is a Hunold-style random-sampling autotuner.
+type Tuner struct {
+	cfg     Config
+	backend autotune.Backend
+}
+
+// New builds a tuner over a benchmark backend.
+func New(cfg Config, backend autotune.Backend) *Tuner {
+	return &Tuner{cfg: cfg, backend: backend}
+}
+
+// SelectionOrder returns the tuner's training point order for a
+// collective: a seeded uniformly random permutation of all candidates.
+func (t *Tuner) SelectionOrder(c coll.Collective) []autotune.Candidate {
+	cands := autotune.Candidates(c, t.cfg.Space, t.backend.MaxNodes())
+	rng := rand.New(rand.NewSource(t.cfg.Seed + int64(c)))
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	return cands
+}
+
+// CollectOrder measures the first n candidates of the selection order
+// (all of them if n <= 0), returning the samples in collection order.
+func (t *Tuner) CollectOrder(c coll.Collective, n int) ([]autotune.Sample, error) {
+	order := t.SelectionOrder(c)
+	if n <= 0 || n > len(order) {
+		n = len(order)
+	}
+	samples := make([]autotune.Sample, 0, n)
+	for _, cand := range order[:n] {
+		m, err := t.backend.Measure(cand.Spec(c))
+		if err != nil {
+			return nil, fmt.Errorf("hunold: %w", err)
+		}
+		samples = append(samples, autotune.Sample{Candidate: cand, Mean: m.MeanTime, Wall: m.WallTime})
+	}
+	return samples, nil
+}
+
+// Result is a trained Hunold autotuner for one collective.
+type Result struct {
+	Coll   coll.Collective
+	Model  *autotune.PerAlgModel
+	Ledger autotune.Ledger
+	Order  []autotune.Sample // full collection order, for learning curves
+}
+
+// Select implements autotune.Selector.
+func (r *Result) Select(p featspace.Point) string { return r.Model.Select(p) }
+
+// Tune collects a fraction of the candidate pool at random and trains
+// the per-algorithm models (the original design has no convergence
+// loop; the fraction is the operator's choice).
+func (t *Tuner) Tune(c coll.Collective, fraction float64) (*Result, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("hunold: fraction %v out of (0, 1]", fraction)
+	}
+	order := t.SelectionOrder(c)
+	n := int(fraction * float64(len(order)))
+	if n < 2 {
+		n = 2
+	}
+	samples, err := t.CollectOrder(c, n)
+	if err != nil {
+		return nil, err
+	}
+	ts := autotune.NewTrainingSet(c)
+	var wall float64
+	for _, s := range samples {
+		ts.AddSample(s)
+		wall += s.Wall
+	}
+	model, err := autotune.TrainPerAlg(t.cfg.Forest, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coll: c, Model: model, Ledger: autotune.Ledger{Collection: wall}, Order: samples}, nil
+}
+
+// LearningCurve measures model quality across training-set fractions
+// (the Figure 3 series for this tuner). eval scores a selector, usually
+// autotune.EvalSlowdown against a replay dataset.
+func (t *Tuner) LearningCurve(c coll.Collective, fracs []float64,
+	eval func(autotune.Selector) (float64, error)) ([]autotune.CurvePoint, error) {
+
+	order, err := t.CollectOrder(c, 0)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.LearningCurve(c, order, fracs,
+		func(ts *autotune.TrainingSet) (autotune.Selector, error) {
+			return autotune.TrainPerAlg(t.cfg.Forest, ts)
+		}, eval)
+}

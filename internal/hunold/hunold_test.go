@@ -1,0 +1,131 @@
+package hunold
+
+import (
+	"testing"
+
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/dataset"
+	"acclaim/internal/featspace"
+	"acclaim/internal/forest"
+	"acclaim/internal/netmodel"
+)
+
+func testSpace() featspace.Space {
+	return featspace.Space{
+		Nodes: []int{2, 4, 8, 16},
+		PPNs:  []int{1, 2},
+		Msgs:  []int{8, 128, 2048, 32768, 1 << 19},
+	}
+}
+
+func testReplay(t testing.TB) *dataset.Replay {
+	t.Helper()
+	r, err := benchmark.NewRunner(netmodel.DefaultParams(), netmodel.DefaultEnv(),
+		cluster.TopologyTwoPairs(), benchmark.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Collect(r, testSpace().Points(), dataset.CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dataset.Replay{DS: ds, Alloc: cluster.TopologyTwoPairs()}
+}
+
+func TestSelectionOrderDeterministicPermutation(t *testing.T) {
+	rp := testReplay(t)
+	tuner := New(Config{Space: testSpace(), Forest: forest.Config{Seed: 1}, Seed: 5}, rp)
+	o1 := tuner.SelectionOrder(coll.Bcast)
+	o2 := tuner.SelectionOrder(coll.Bcast)
+	if len(o1) != testSpace().Size()*coll.NumAlgorithms(coll.Bcast) {
+		t.Fatalf("order length = %d", len(o1))
+	}
+	seen := make(map[benchmark.Spec]bool)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("selection order not deterministic")
+		}
+		s := o1[i].Spec(coll.Bcast)
+		if seen[s] {
+			t.Fatal("duplicate candidate in order")
+		}
+		seen[s] = true
+	}
+	// Different collectives get different shuffles.
+	o3 := tuner.SelectionOrder(coll.Reduce)
+	if len(o3) == 0 {
+		t.Fatal("empty reduce order")
+	}
+}
+
+func TestTuneFullFractionNearOptimal(t *testing.T) {
+	rp := testReplay(t)
+	tuner := New(Config{Space: testSpace(), Forest: forest.Config{Seed: 2, NTrees: 40}, Seed: 6}, rp)
+	res, err := tuner.Tune(coll.Bcast, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.Collection <= 0 {
+		t.Error("no collection time charged")
+	}
+	sd, err := autotune.EvalSlowdown(rp.DS, coll.Bcast, testSpace().Points(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd > 1.10 {
+		t.Errorf("fully trained Hunold slowdown = %v", sd)
+	}
+}
+
+func TestTuneFractionValidation(t *testing.T) {
+	rp := testReplay(t)
+	tuner := New(Config{Space: testSpace(), Forest: forest.Config{Seed: 3}}, rp)
+	if _, err := tuner.Tune(coll.Bcast, 0); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := tuner.Tune(coll.Bcast, 1.5); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+}
+
+func TestLearningCurveImprovesWithData(t *testing.T) {
+	rp := testReplay(t)
+	tuner := New(Config{Space: testSpace(), Forest: forest.Config{Seed: 4, NTrees: 30}, Seed: 9}, rp)
+	eval := func(s autotune.Selector) (float64, error) {
+		return autotune.EvalSlowdown(rp.DS, coll.Allreduce, testSpace().Points(), s)
+	}
+	curve, err := tuner.LearningCurve(coll.Allreduce, []float64{0.05, 0.3, 1.0}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve = %v", curve)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if last.Slowdown > first.Slowdown+0.02 {
+		t.Errorf("more data made the model worse: %v -> %v", first.Slowdown, last.Slowdown)
+	}
+	if last.Slowdown > 1.10 {
+		t.Errorf("full-data slowdown = %v", last.Slowdown)
+	}
+}
+
+func TestCollectOrderCaps(t *testing.T) {
+	rp := testReplay(t)
+	tuner := New(Config{Space: testSpace(), Forest: forest.Config{Seed: 5}, Seed: 10}, rp)
+	ss, err := tuner.CollectOrder(coll.Reduce, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 7 {
+		t.Errorf("collected %d, want 7", len(ss))
+	}
+	for _, s := range ss {
+		if s.Mean <= 0 || s.Wall <= 0 {
+			t.Errorf("bad sample %+v", s)
+		}
+	}
+}

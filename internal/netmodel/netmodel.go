@@ -1,0 +1,285 @@
+// Package netmodel is the network performance model underneath the
+// simulated MPI runtime. It classifies point-to-point paths through the
+// three Dragonfly layers of Figure 8 (intra-node shared memory,
+// intra-rack, rack pair, global), assigns each class Hockney-style
+// latency/bandwidth parameters, and layers per-job dynamic factors on
+// top: the allocation-spread latency penalty and background congestion
+// that the paper identifies as the reason autotuners must retrain every
+// job (Section II-B3, ">2x difference in latency for the same collective
+// algorithm on different jobs and allocations").
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"acclaim/internal/cluster"
+)
+
+// PathClass categorises the route between two ranks by the highest
+// network layer it must traverse.
+type PathClass int
+
+// Path classes, cheapest first.
+const (
+	IntraNode PathClass = iota // same node: shared memory
+	IntraRack                  // layer 1: within a rack
+	RackPair                   // layer 2: between paired racks
+	Global                     // layer 3: between rack pairs
+	numPathClasses
+)
+
+// String implements fmt.Stringer.
+func (c PathClass) String() string {
+	switch c {
+	case IntraNode:
+		return "intra-node"
+	case IntraRack:
+		return "intra-rack"
+	case RackPair:
+		return "rack-pair"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("PathClass(%d)", int(c))
+	}
+}
+
+// Params holds the static cost parameters of the machine. Times are in
+// microseconds, sizes in bytes, bandwidths in bytes per microsecond
+// (1 B/us = 1 MB/s).
+type Params struct {
+	Latency      [numPathClasses]float64 // alpha: per-message startup cost
+	Bandwidth    [numPathClasses]float64 // beta denominator: bytes per microsecond
+	SendOverhead float64                 // CPU time charged to the sender per message
+	ReduceRate   float64                 // bytes/us a rank can combine in a reduction op
+	CopyRate     float64                 // bytes/us for local memory copies (pack/unpack)
+
+	// NonP2Penalty (>= 1) divides the effective bandwidth of transfers,
+	// reductions, and copies whose byte count is not a power of two.
+	// It models the pipelining/double-buffering and alignment penalties
+	// real MPI transports exhibit for segment sizes that do not tile
+	// their internal power-of-two buffers. This is the mechanism that
+	// gives non-P2 message sizes genuinely different performance trends
+	// (Section III-B of the paper): a model trained only on P2 points
+	// cannot interpolate it.
+	NonP2Penalty float64
+
+	// NonP2Alpha (>= 1) multiplies the per-message startup latency of
+	// non-P2 network transfers: the remainder segment breaks the
+	// transport's double-buffered pipeline and costs an extra
+	// rendezvous. Because the hit is per message, algorithms built from
+	// many small transfers (ring, scatter-based) suffer more than
+	// few-large-message algorithms (binomial) — which is what shifts
+	// the algorithm *ranking* at non-P2 sizes and makes them genuinely
+	// unlearnable from P2-only training data.
+	NonP2Alpha float64
+}
+
+// isP2 reports whether v is a positive power of two (local copy to keep
+// the package dependency-free).
+func isP2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// DefaultParams returns parameters loosely calibrated to a Xeon-class
+// cluster with an Aries-like interconnect. Absolute values are not meant
+// to match Theta; the structure (ordering and ratios across layers) is
+// what the experiments depend on.
+func DefaultParams() Params {
+	var p Params
+	p.Latency[IntraNode] = 0.3
+	p.Latency[IntraRack] = 1.3
+	p.Latency[RackPair] = 2.1
+	p.Latency[Global] = 3.6
+	p.Bandwidth[IntraNode] = 8000 // 8 GB/s
+	p.Bandwidth[IntraRack] = 4800
+	p.Bandwidth[RackPair] = 4000
+	p.Bandwidth[Global] = 3200
+	p.SendOverhead = 0.15
+	p.ReduceRate = 4000
+	p.CopyRate = 12000
+	p.NonP2Penalty = 1.5
+	p.NonP2Alpha = 5
+	return p
+}
+
+// Validate checks the parameters for positivity.
+func (p Params) Validate() error {
+	for c := PathClass(0); c < numPathClasses; c++ {
+		if p.Latency[c] < 0 {
+			return fmt.Errorf("netmodel: negative latency for %v", c)
+		}
+		if p.Bandwidth[c] <= 0 {
+			return fmt.Errorf("netmodel: non-positive bandwidth for %v", c)
+		}
+	}
+	if p.SendOverhead < 0 || p.ReduceRate <= 0 || p.CopyRate <= 0 {
+		return errors.New("netmodel: invalid overhead/rate parameters")
+	}
+	if p.NonP2Penalty < 1 {
+		return errors.New("netmodel: NonP2Penalty must be >= 1")
+	}
+	if p.NonP2Alpha < 1 {
+		return errors.New("netmodel: NonP2Alpha must be >= 1")
+	}
+	return nil
+}
+
+// Env captures the dynamic, per-job environment: the non-programmatic
+// variables of Section II-B. A fresh Env is sampled for every job; two
+// jobs with the same programmatic features can easily differ by >2x in
+// effective latency, which is why models cannot be reused across jobs.
+type Env struct {
+	LatencyFactor   float64 // multiplies network (non-intra-node) latencies
+	BandwidthFactor float64 // divides network bandwidths (congestion), >= 1
+	NoiseSigma      float64 // relative sigma of multiplicative measurement noise
+}
+
+// DefaultEnv is a calm, uncongested environment with mild noise.
+func DefaultEnv() Env {
+	return Env{LatencyFactor: 1, BandwidthFactor: 1, NoiseSigma: 0.02}
+}
+
+// SampleEnv draws a per-job environment. The latency factor combines a
+// base congestion draw with the allocation's spread (a scattered
+// allocation crosses more global links and suffers more interference),
+// reproducing the paper's observation of >2x latency variation across
+// jobs. The draw is deterministic for a given rng state.
+func SampleEnv(rng *rand.Rand, alloc cluster.Allocation) Env {
+	congestion := 1 + rng.Float64()*0.8              // background traffic: 1.0–1.8
+	spread := 1 + 0.25*math.Max(alloc.Spread()-1, 0) // compact=1.0 … scattered=1.5
+	return Env{
+		LatencyFactor:   congestion * spread,
+		BandwidthFactor: 1 + rng.Float64()*0.5,
+		NoiseSigma:      0.02 + rng.Float64()*0.03,
+	}
+}
+
+// Validate checks the environment for sanity.
+func (e Env) Validate() error {
+	if e.LatencyFactor < 1 || e.BandwidthFactor < 1 || e.NoiseSigma < 0 {
+		return errors.New("netmodel: environment factors must be >= 1 (noise >= 0)")
+	}
+	return nil
+}
+
+// Model binds the static parameters, a job's allocation and rank layout,
+// and the job's dynamic environment into a point-to-point cost oracle.
+// Model is immutable after construction and safe for concurrent use.
+type Model struct {
+	Params Params
+	Env    Env
+	Alloc  cluster.Allocation
+	PPN    int
+
+	nodeOf []int // rank -> physical node, precomputed
+	rackOf []int // rank -> rack
+	pairOf []int // rank -> rack pair
+}
+
+// New constructs a Model for a job with the given processes per node.
+// Every allocated node hosts exactly ppn ranks (block placement), so the
+// job has Alloc.Size()*ppn ranks.
+func New(params Params, env Env, alloc cluster.Allocation, ppn int) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if err := alloc.Validate(); err != nil {
+		return nil, err
+	}
+	if ppn <= 0 {
+		return nil, errors.New("netmodel: non-positive ppn")
+	}
+	if ppn > alloc.Machine.CoresPerNode {
+		return nil, fmt.Errorf("netmodel: ppn %d exceeds %d cores per node", ppn, alloc.Machine.CoresPerNode)
+	}
+	n := alloc.Size() * ppn
+	m := &Model{Params: params, Env: env, Alloc: alloc, PPN: ppn,
+		nodeOf: make([]int, n), rackOf: make([]int, n), pairOf: make([]int, n)}
+	for r := 0; r < n; r++ {
+		node := alloc.Nodes[r/ppn]
+		m.nodeOf[r] = node
+		m.rackOf[r] = alloc.Machine.RackOf(node)
+		m.pairOf[r] = alloc.Machine.PairOf(m.rackOf[r])
+	}
+	return m, nil
+}
+
+// Ranks returns the total number of ranks in the job.
+func (m *Model) Ranks() int { return len(m.nodeOf) }
+
+// NodeOf returns the physical node hosting a rank.
+func (m *Model) NodeOf(rank int) int { return m.nodeOf[rank] }
+
+// Classify returns the path class between two ranks.
+func (m *Model) Classify(a, b int) PathClass {
+	switch {
+	case m.nodeOf[a] == m.nodeOf[b]:
+		return IntraNode
+	case m.rackOf[a] == m.rackOf[b]:
+		return IntraRack
+	case m.pairOf[a] == m.pairOf[b]:
+		return RackPair
+	default:
+		return Global
+	}
+}
+
+// Transfer returns the wire time in microseconds for a message of the
+// given size between two ranks: alpha + bytes/beta, with the job's
+// dynamic factors applied to network (non-intra-node) paths.
+func (m *Model) Transfer(from, to int, bytes int) float64 {
+	c := m.Classify(from, to)
+	alpha := m.Params.Latency[c]
+	bw := m.Params.Bandwidth[c]
+	if c != IntraNode {
+		alpha *= m.Env.LatencyFactor
+		bw /= m.Env.BandwidthFactor
+	}
+	// Zero-byte messages are pure control traffic — no payload, no
+	// pipeline to misalign — so they pay plain alpha.
+	if bytes > 0 && !isP2(bytes) {
+		bw /= m.Params.NonP2Penalty
+		alpha *= m.Params.NonP2Alpha
+	}
+	return alpha + float64(bytes)/bw
+}
+
+// SendOverhead returns the CPU time the sender spends injecting one
+// message (independent of destination).
+func (m *Model) SendOverhead() float64 { return m.Params.SendOverhead }
+
+// ReduceCost returns the CPU time to combine bytes of reduction
+// operands, including the non-P2 alignment penalty.
+func (m *Model) ReduceCost(bytes int) float64 {
+	rate := m.Params.ReduceRate
+	if !isP2(bytes) {
+		rate /= m.Params.NonP2Penalty
+	}
+	return float64(bytes) / rate
+}
+
+// CopyCost returns the CPU time to copy bytes locally, including the
+// non-P2 alignment penalty.
+func (m *Model) CopyCost(bytes int) float64 {
+	rate := m.Params.CopyRate
+	if !isP2(bytes) {
+		rate /= m.Params.NonP2Penalty
+	}
+	return float64(bytes) / rate
+}
+
+// Noise draws one multiplicative noise factor (mean 1) for a measured
+// time, using the job's noise sigma. Not safe for concurrent use of the
+// same rng.
+func (m *Model) Noise(rng *rand.Rand) float64 {
+	f := 1 + rng.NormFloat64()*m.Env.NoiseSigma
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}

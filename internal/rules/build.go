@@ -1,0 +1,70 @@
+package rules
+
+import (
+	"acclaim/internal/featspace"
+)
+
+// BuildTable constructs a complete, pruned rule table for one collective
+// from a selection oracle, implementing the paper's Figure 9 rule
+// creation logic. For every (nodes, ppn) cell of the P2 grid it walks
+// message sizes in ascending order; whenever the selection changes
+// between adjacent P2 sizes A and C, it re-queries the oracle at the
+// non-P2 midpoint B and emits up to three rules (<=A uses ALG-A,
+// (A, C) uses ALG-B, >=C uses ALG-C), merging immediately when ALG-B
+// equals a neighbour. The final rule at every level is an Unbounded
+// catch-all, so the table is complete by construction.
+func BuildTable(collective string, space featspace.Space, sel func(featspace.Point) string) *Table {
+	t := &Table{Collective: collective}
+	for ni, nodes := range space.Nodes {
+		nb := NodeBucket{MaxNodes: int64(nodes)}
+		if ni == len(space.Nodes)-1 {
+			nb.MaxNodes = Unbounded
+		}
+		for pi, ppn := range space.PPNs {
+			pb := PPNBucket{MaxPPN: int64(ppn)}
+			if pi == len(space.PPNs)-1 {
+				pb.MaxPPN = Unbounded
+			}
+			pb.Rules = buildMsgRules(space.Msgs, func(msg int) string {
+				return sel(featspace.Point{Nodes: nodes, PPN: ppn, MsgBytes: msg})
+			})
+			nb.PPNs = append(nb.PPNs, pb)
+		}
+		t.Buckets = append(t.Buckets, nb)
+	}
+	t.Prune()
+	return t
+}
+
+// buildMsgRules performs the per-cell Figure 9 walk.
+func buildMsgRules(msgs []int, sel func(int) string) []MsgRule {
+	if len(msgs) == 0 {
+		return []MsgRule{{MaxMsg: Unbounded, Alg: sel(1)}}
+	}
+	cur := sel(msgs[0])
+	var rs []MsgRule
+	for i := 0; i+1 < len(msgs); i++ {
+		next := sel(msgs[i+1])
+		if next == cur {
+			continue
+		}
+		a, c := msgs[i], msgs[i+1]
+		rs = append(rs, MsgRule{MaxMsg: int64(a), Alg: cur})
+		if c-a >= 2 {
+			b := sel((a + c) / 2) // the non-P2 midpoint query
+			switch {
+			case b == cur:
+				// ALG-A == ALG-B: merge the first two rules.
+				rs[len(rs)-1].MaxMsg = int64(c - 1)
+			case b != next:
+				// Distinct middle region.
+				rs = append(rs, MsgRule{MaxMsg: int64(c - 1), Alg: b})
+			}
+			// b == next: ALG-B == ALG-C, the next region starts right
+			// after A — nothing to emit.
+		}
+		cur = next
+	}
+	rs = append(rs, MsgRule{MaxMsg: Unbounded, Alg: cur})
+	return pruneMsgRules(rs)
+}

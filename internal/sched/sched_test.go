@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acclaim/internal/cluster"
+)
+
+func reqs(nodes ...int) []Request {
+	rs := make([]Request, len(nodes))
+	for i, n := range nodes {
+		rs[i] = Request{ID: i, Nodes: n, Priority: float64(len(nodes) - i)}
+	}
+	return rs
+}
+
+func TestPlanWaveSingleRackSerializes(t *testing.T) {
+	alloc := cluster.TopologySingleRack() // 64 nodes, one rack
+	wave, rest := PlanWave(alloc, reqs(4, 4, 4))
+	if len(wave) != 1 {
+		t.Fatalf("single rack wave size = %d, want 1 (whole rack consumed)", len(wave))
+	}
+	if len(rest) != 2 {
+		t.Fatalf("unplaced = %d, want 2", len(rest))
+	}
+	if err := CheckWave(alloc, wave); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanWaveMaxParallel(t *testing.T) {
+	alloc := cluster.TopologyMaxParallel() // 64 nodes on 64 separate pairs
+	wave, rest := PlanWave(alloc, reqs(4, 4, 4, 4))
+	if len(wave) != 4 {
+		t.Fatalf("max-parallel wave size = %d, want 4", len(wave))
+	}
+	if len(rest) != 0 {
+		t.Fatalf("unplaced = %d, want 0", len(rest))
+	}
+	if err := CheckWave(alloc, wave); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanWaveTwoPairs(t *testing.T) {
+	// 4 racks of 16: a 16-node run consumes exactly one rack, so up to
+	// 4 single-rack runs fit in one wave.
+	alloc := cluster.TopologyTwoPairs()
+	wave, rest := PlanWave(alloc, reqs(16, 16, 16, 16))
+	if len(wave) != 4 || len(rest) != 0 {
+		t.Fatalf("wave=%d rest=%d, want 4/0", len(wave), len(rest))
+	}
+	// An 8-node run still consumes its whole rack.
+	wave, rest = PlanWave(alloc, reqs(8, 8, 8, 8, 8))
+	if len(wave) != 4 || len(rest) != 1 {
+		t.Fatalf("8-node runs: wave=%d rest=%d, want 4/1", len(wave), len(rest))
+	}
+	if err := CheckWave(alloc, wave); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanWaveStopsAtFirstMisfit(t *testing.T) {
+	// The paper's greedy exits at the first request that cannot fit,
+	// even if later, smaller requests would.
+	alloc := cluster.TopologyRackPair() // 64 nodes, 2 racks of 32
+	wave, rest := PlanWave(alloc, reqs(40, 40, 2))
+	if len(wave) != 1 {
+		t.Fatalf("wave size = %d, want 1", len(wave))
+	}
+	if len(rest) != 2 {
+		t.Fatalf("rest = %d, want 2 (greedy must not skip ahead)", len(rest))
+	}
+}
+
+func TestPlanWaveSequentialPlacement(t *testing.T) {
+	alloc := cluster.TopologyMaxParallel()
+	wave, _ := PlanWave(alloc, reqs(3, 2))
+	if len(wave) != 2 {
+		t.Fatalf("wave size = %d", len(wave))
+	}
+	// First request gets indices 0,1,2; second 3,4.
+	for i, want := range []int{0, 1, 2} {
+		if wave[0].NodeIdx[i] != want {
+			t.Errorf("placement 0 idx = %v", wave[0].NodeIdx)
+		}
+	}
+	for i, want := range []int{3, 4} {
+		if wave[1].NodeIdx[i] != want {
+			t.Errorf("placement 1 idx = %v", wave[1].NodeIdx)
+		}
+	}
+}
+
+func TestPlanWaveOversizeRequest(t *testing.T) {
+	alloc := cluster.TopologySingleRack()
+	wave, rest := PlanWave(alloc, reqs(100))
+	if len(wave) != 0 || len(rest) != 1 {
+		t.Fatal("oversize request must be returned unplaced")
+	}
+	if _, err := PlanAll(alloc, reqs(100)); err == nil {
+		t.Error("PlanAll must error on an unsatisfiable request")
+	}
+}
+
+func TestPlanAllCoversEverything(t *testing.T) {
+	alloc := cluster.TopologyTwoPairs()
+	in := reqs(16, 8, 8, 4, 32, 2, 2, 2, 64, 16)
+	waves, err := PlanAll(alloc, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, w := range waves {
+		if err := CheckWave(alloc, w); err != nil {
+			t.Errorf("wave violates constraints: %v", err)
+		}
+		for _, p := range w {
+			if seen[p.ID] {
+				t.Errorf("request %d scheduled twice", p.ID)
+			}
+			seen[p.ID] = true
+			if len(p.NodeIdx) != p.Nodes {
+				t.Errorf("request %d placed on %d nodes, want %d", p.ID, len(p.NodeIdx), p.Nodes)
+			}
+		}
+	}
+	if len(seen) != len(in) {
+		t.Errorf("scheduled %d of %d requests", len(seen), len(in))
+	}
+}
+
+// Property: for random request lists on random topologies, PlanAll
+// schedules every request exactly once, never overlaps nodes within a
+// wave, and every wave passes CheckWave.
+func TestPlanAllProperty(t *testing.T) {
+	topos := []cluster.Allocation{
+		cluster.TopologySingleRack(),
+		cluster.TopologyRackPair(),
+		cluster.TopologyTwoPairs(),
+		cluster.TopologyMaxParallel(),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alloc := topos[rng.Intn(len(topos))]
+		n := 1 + rng.Intn(12)
+		rs := make([]Request, n)
+		for i := range rs {
+			rs[i] = Request{ID: i, Nodes: 1 + rng.Intn(alloc.Size()), Priority: rng.Float64()}
+		}
+		waves, err := PlanAll(alloc, rs)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, w := range waves {
+			if CheckWave(alloc, w) != nil {
+				return false
+			}
+			used := make(map[int]bool)
+			for _, p := range w {
+				count++
+				for _, idx := range p.NodeIdx {
+					if used[idx] {
+						return false
+					}
+					used[idx] = true
+				}
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckWaveDetectsRackSharing(t *testing.T) {
+	alloc := cluster.TopologySingleRack()
+	bad := []Placement{
+		{Request: Request{ID: 0, Nodes: 2}, NodeIdx: []int{0, 1}},
+		{Request: Request{ID: 1, Nodes: 2}, NodeIdx: []int{2, 3}},
+	}
+	if err := CheckWave(alloc, bad); err == nil {
+		t.Error("rack sharing not detected")
+	}
+}
+
+func TestCheckWaveDetectsPairSharing(t *testing.T) {
+	// 4 racks of 16 in 2 pairs: two multi-rack runs across the same pair.
+	alloc := cluster.TopologyTwoPairs()
+	idx := func(lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	// Run A uses nodes 0..17 (racks 0,1 = pair 0); run B uses 18..33
+	// (racks 1,2) — shares rack 1 AND pair 0.
+	bad := []Placement{
+		{Request: Request{ID: 0, Nodes: 18}, NodeIdx: idx(0, 18)},
+		{Request: Request{ID: 1, Nodes: 16}, NodeIdx: idx(18, 34)},
+	}
+	if err := CheckWave(alloc, bad); err == nil {
+		t.Error("sharing not detected")
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	waves := [][]Placement{{{}, {}}, {{}}}
+	p := Parallelism(waves)
+	if len(p) != 2 || p[0] != 2 || p[1] != 1 {
+		t.Errorf("Parallelism = %v", p)
+	}
+}
+
+func TestPhysicalNodes(t *testing.T) {
+	alloc := cluster.TopologyMaxParallel()
+	p := Placement{NodeIdx: []int{0, 1}}
+	phys := p.PhysicalNodes(alloc)
+	if phys[0] != alloc.Nodes[0] || phys[1] != alloc.Nodes[1] {
+		t.Errorf("PhysicalNodes = %v", phys)
+	}
+}

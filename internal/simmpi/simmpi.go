@@ -1,0 +1,328 @@
+// Package simmpi is a virtual-time message-passing runtime: the MPI
+// substrate the collective algorithms in internal/coll execute on.
+//
+// Each MPI rank is a goroutine with a private virtual clock in
+// microseconds. Sends are eager: the sender is charged a small injection
+// overhead and the message is stamped with its arrival time
+// (sendClock + alpha + bytes/beta from the netmodel). A receive blocks
+// until a matching message exists and advances the receiver's clock to
+// max(ownClock, arrivalTime). This reproduces the latency/bandwidth
+// timing of the classic Hockney model over arbitrary communication DAGs
+// while still moving real bytes, so every collective algorithm is
+// simultaneously timed and checked for correctness.
+//
+// Buffers may omit their backing bytes (timing-only mode) so large
+// exhaustive benchmark sweeps do not pay for megabyte memcpy traffic;
+// the virtual-time accounting is identical either way.
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+
+	"acclaim/internal/netmodel"
+)
+
+// Buf is a message buffer of logical length N bytes. Data is either nil
+// (timing-only mode) or a slice of exactly N bytes. All collective
+// algorithms are written against Buf so a single implementation serves
+// both correctness tests (with data) and fast timing sweeps (without).
+type Buf struct {
+	N    int
+	Data []byte
+}
+
+// MakeBuf returns a timing-only buffer of n bytes.
+func MakeBuf(n int) Buf { return Buf{N: n} }
+
+// BytesBuf wraps a concrete byte slice.
+func BytesBuf(b []byte) Buf { return Buf{N: len(b), Data: b} }
+
+// HasData reports whether the buffer carries real bytes.
+func (b Buf) HasData() bool { return b.Data != nil }
+
+// Slice returns the sub-buffer [lo, hi). It panics on out-of-range
+// bounds, mirroring Go slice semantics.
+func (b Buf) Slice(lo, hi int) Buf {
+	if lo < 0 || hi < lo || hi > b.N {
+		panic(fmt.Sprintf("simmpi: Slice[%d:%d] of %d-byte buffer", lo, hi, b.N))
+	}
+	if b.Data == nil {
+		return Buf{N: hi - lo}
+	}
+	return Buf{N: hi - lo, Data: b.Data[lo:hi]}
+}
+
+// Clone returns a deep copy of the buffer.
+func (b Buf) Clone() Buf {
+	if b.Data == nil {
+		return Buf{N: b.N}
+	}
+	d := make([]byte, b.N)
+	copy(d, b.Data)
+	return Buf{N: b.N, Data: d}
+}
+
+// Concat returns a new buffer holding b followed by c. The result
+// carries data only if both operands do.
+func (b Buf) Concat(c Buf) Buf {
+	if b.Data == nil || c.Data == nil {
+		return Buf{N: b.N + c.N}
+	}
+	d := make([]byte, 0, b.N+c.N)
+	d = append(d, b.Data...)
+	d = append(d, c.Data...)
+	return Buf{N: b.N + c.N, Data: d}
+}
+
+// CopyInto writes src into b starting at offset off. Lengths must fit.
+// Buffers without data ignore the byte copy but still validate bounds.
+func (b Buf) CopyInto(off int, src Buf) {
+	if off < 0 || off+src.N > b.N {
+		panic(fmt.Sprintf("simmpi: CopyInto offset %d length %d into %d-byte buffer", off, src.N, b.N))
+	}
+	if b.Data != nil && src.Data != nil {
+		copy(b.Data[off:off+src.N], src.Data)
+	}
+}
+
+// Op is a reduction operator over bytes. All ops are associative and
+// commutative, which is what MPI requires for reductions and what lets
+// every reduction algorithm produce bit-identical results regardless of
+// combining order.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota // bytewise sum modulo 256
+	OpMax           // bytewise maximum
+	OpXor           // bytewise exclusive or
+)
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpXor:
+		return "xor"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Combine folds src into dst elementwise: dst = dst (op) src. Both
+// buffers must have equal length. Timing-only buffers skip the byte
+// work.
+func (op Op) Combine(dst, src Buf) {
+	if dst.N != src.N {
+		panic(fmt.Sprintf("simmpi: Combine of %d-byte and %d-byte buffers", dst.N, src.N))
+	}
+	if dst.Data == nil || src.Data == nil {
+		return
+	}
+	switch op {
+	case OpSum:
+		for i := range dst.Data {
+			dst.Data[i] += src.Data[i]
+		}
+	case OpMax:
+		for i := range dst.Data {
+			if src.Data[i] > dst.Data[i] {
+				dst.Data[i] = src.Data[i]
+			}
+		}
+	case OpXor:
+		for i := range dst.Data {
+			dst.Data[i] ^= src.Data[i]
+		}
+	default:
+		panic(fmt.Sprintf("simmpi: unknown op %d", int(op)))
+	}
+}
+
+// message is an in-flight transfer.
+type message struct {
+	buf     Buf
+	arrival float64 // virtual time at which the bytes are available
+}
+
+// mailbox holds pending messages for one rank, matched by source rank in
+// FIFO order per source (MPI's non-overtaking guarantee).
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[int][]message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{pending: make(map[int][]message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(src int, m message) {
+	mb.mu.Lock()
+	mb.pending[src] = append(mb.pending[src], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) take(src int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.pending[src]) == 0 {
+		mb.cond.Wait()
+	}
+	q := mb.pending[src]
+	m := q[0]
+	if len(q) == 1 {
+		delete(mb.pending, src)
+	} else {
+		mb.pending[src] = q[1:]
+	}
+	return m
+}
+
+// World is one job's communication universe: the network model plus a
+// mailbox per rank.
+type World struct {
+	model *netmodel.Model
+	mail  []*mailbox
+}
+
+// NewWorld creates a world for the model's ranks.
+func NewWorld(model *netmodel.Model) *World {
+	n := model.Ranks()
+	w := &World{model: model, mail: make([]*mailbox, n)}
+	for i := range w.mail {
+		w.mail[i] = newMailbox()
+	}
+	return w
+}
+
+// Comm is one rank's handle on the world; the analogue of an MPI
+// communicator bound to a rank. A Comm is confined to its rank's
+// goroutine and must not be shared.
+type Comm struct {
+	w     *World
+	rank  int
+	clock float64
+	sent  int // messages sent, for diagnostics
+	recvd int // messages received, for diagnostics
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return len(c.w.mail) }
+
+// Clock returns the rank's current virtual time in microseconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// Model exposes the underlying network model (read-only).
+func (c *Comm) Model() *netmodel.Model { return c.w.model }
+
+// Stats returns the number of messages this rank sent and received.
+func (c *Comm) Stats() (sent, received int) { return c.sent, c.recvd }
+
+// Compute advances the rank's clock by us microseconds of local work
+// (reduction arithmetic, packing). Negative durations panic.
+func (c *Comm) Compute(us float64) {
+	if us < 0 {
+		panic("simmpi: negative compute time")
+	}
+	c.clock += us
+}
+
+// Send transmits buf to rank dst. It is eager: the sender pays only the
+// injection overhead and continues; the message arrives at
+// clock + transfer(from, to, bytes). Sending to oneself panics — the
+// collective algorithms never do it, so it always indicates a bug.
+func (c *Comm) Send(dst int, buf Buf) {
+	if dst == c.rank {
+		panic(fmt.Sprintf("simmpi: rank %d sending to itself", c.rank))
+	}
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("simmpi: send to rank %d of %d", dst, c.Size()))
+	}
+	c.clock += c.w.model.SendOverhead()
+	arrival := c.clock + c.w.model.Transfer(c.rank, dst, buf.N)
+	// Clone data so sender reuse of the buffer cannot race the receiver.
+	c.w.mail[dst].put(c.rank, message{buf: buf.Clone(), arrival: arrival})
+	c.sent++
+}
+
+// Recv blocks until a message from src is available, advances the clock
+// to the message's arrival time, and returns the payload.
+func (c *Comm) Recv(src int) Buf {
+	if src == c.rank {
+		panic(fmt.Sprintf("simmpi: rank %d receiving from itself", c.rank))
+	}
+	if src < 0 || src >= c.Size() {
+		panic(fmt.Sprintf("simmpi: recv from rank %d of %d", src, c.Size()))
+	}
+	m := c.w.mail[c.rank].take(src)
+	if m.arrival > c.clock {
+		c.clock = m.arrival
+	}
+	c.recvd++
+	return m.buf
+}
+
+// Sendrecv sends sbuf to dst and receives from src, modelling a
+// full-duplex exchange (both directions overlap, as in MPI_Sendrecv on a
+// bidirectional link).
+func (c *Comm) Sendrecv(dst int, sbuf Buf, src int) Buf {
+	c.Send(dst, sbuf)
+	return c.Recv(src)
+}
+
+// Result summarises one collective execution across all ranks.
+type Result struct {
+	MaxClock float64   // completion time: the slowest rank's final clock
+	Clocks   []float64 // per-rank final clocks
+	Sent     int       // total messages sent
+}
+
+// Run executes fn once per rank, each on its own goroutine with a fresh
+// Comm starting at clock 0, and waits for all to finish. A panic in any
+// rank is recovered and returned as an error naming the rank.
+func Run(model *netmodel.Model, fn func(*Comm)) (Result, error) {
+	w := NewWorld(model)
+	n := model.Ranks()
+	comms := make([]*Comm, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		comms[r] = &Comm{w: w, rank: r}
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("simmpi: rank %d panicked: %v", r, p)
+				}
+			}()
+			fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Clocks: make([]float64, n)}
+	for r, c := range comms {
+		res.Clocks[r] = c.clock
+		res.Sent += c.sent
+		if c.clock > res.MaxClock {
+			res.MaxClock = c.clock
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if m := Mean(xs); !almostEq(m, 2.8, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Min(xs); m != 1 {
+		t.Errorf("Min = %v", m)
+	}
+	if m := Max(xs); m != 5 {
+		t.Errorf("Max = %v", m)
+	}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %v", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even Median = %v", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestJackknifeVarianceKnown(t *testing.T) {
+	// For p = (0, 2): xp = 1, x1 = 2, x2 = 0; sigma^2 = ((1-2)^2 + (1-0)^2)/1 = 2.
+	if v := JackknifeVariance([]float64{0, 2}); !almostEq(v, 2, 1e-12) {
+		t.Errorf("JackknifeVariance(0,2) = %v, want 2", v)
+	}
+	// Identical predictions carry zero variance.
+	if v := JackknifeVariance([]float64{5, 5, 5, 5}); v != 0 {
+		t.Errorf("constant variance = %v, want 0", v)
+	}
+	if v := JackknifeVariance([]float64{7}); v != 0 {
+		t.Errorf("singleton variance = %v, want 0", v)
+	}
+	if v := JackknifeVariance(nil); v != 0 {
+		t.Errorf("empty variance = %v, want 0", v)
+	}
+}
+
+// The jackknife deviation simplifies algebraically: x_p - x_i = (p_i - x_p)/(n-1),
+// so sigma^2 = sum (p_i - x_p)^2 / (n-1)^3. Check the implementation against
+// this closed form on random inputs.
+func TestJackknifeVarianceClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.NormFloat64() * 10
+		}
+		got := JackknifeVariance(p)
+		xp := Mean(p)
+		var ss float64
+		for _, v := range p {
+			ss += (v - xp) * (v - xp)
+		}
+		want := ss / math.Pow(float64(n-1), 3)
+		return almostEq(got, want, 1e-9*(1+want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: jackknife variance is translation invariant and scales with c^2.
+func TestJackknifeVarianceScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		r := make([]float64, n)
+		for i := range p {
+			p[i] = rng.NormFloat64()
+			q[i] = p[i] + 100
+			r[i] = 3 * p[i]
+		}
+		vp, vq, vr := JackknifeVariance(p), JackknifeVariance(q), JackknifeVariance(r)
+		return almostEq(vp, vq, 1e-9*(1+vp)) && almostEq(vr, 9*vp, 1e-9*(1+vr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgSlowdown(t *testing.T) {
+	got, err := AvgSlowdown([]float64{10, 20}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 1.5, 1e-12) {
+		t.Errorf("AvgSlowdown = %v, want 1.5", got)
+	}
+	if _, err := AvgSlowdown([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want mismatch error")
+	}
+	if _, err := AvgSlowdown(nil, nil); err == nil {
+		t.Error("want empty error")
+	}
+	if _, err := AvgSlowdown([]float64{1}, []float64{0}); err == nil {
+		t.Error("want non-positive optimal error")
+	}
+}
+
+// Property: slowdown of optimal selections is exactly 1, and any other
+// selection can only increase it.
+func TestAvgSlowdownOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		opt := make([]float64, n)
+		sel := make([]float64, n)
+		for i := range opt {
+			opt[i] = 1 + rng.Float64()*100
+			sel[i] = opt[i] * (1 + rng.Float64())
+		}
+		perfect, err1 := AvgSlowdown(opt, opt)
+		worse, err2 := AvgSlowdown(sel, opt)
+		return err1 == nil && err2 == nil && almostEq(perfect, 1, 1e-12) && worse >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdDetector(t *testing.T) {
+	d := NewThresholdDetector(ConvergenceCriterion)
+	if d.Observe(1.5) {
+		t.Error("converged too early")
+	}
+	if d.Observe(1.04) {
+		t.Error("1.04 should not converge at 1.03")
+	}
+	if !d.Observe(1.03) {
+		t.Error("1.03 should converge (inclusive)")
+	}
+	if !d.Observe(9.9) {
+		t.Error("convergence should latch")
+	}
+	if len(d.History()) != 4 {
+		t.Errorf("history length = %d", len(d.History()))
+	}
+}
+
+func TestVarianceWindowDetector(t *testing.T) {
+	d := NewVarianceWindowDetector(0.01, false)
+	seq := []float64{10, 5, 3, 3.001, 3.002, 3.001, 3.0005}
+	var conv []bool
+	for _, v := range seq {
+		conv = append(conv, d.Observe(v))
+	}
+	// Deltas: 5, 2, .001, .001, .001, .0005 — the fourth small delta is
+	// the last one, so convergence happens exactly at the final sample.
+	for i := 0; i < len(seq)-1; i++ {
+		if conv[i] {
+			t.Fatalf("converged early at sample %d", i)
+		}
+	}
+	if !conv[len(seq)-1] {
+		t.Fatal("did not converge at final sample")
+	}
+}
+
+func TestVarianceWindowDetectorRunReset(t *testing.T) {
+	d := NewVarianceWindowDetector(0.01, false)
+	// Three small deltas, one big delta, then three small again: a big
+	// delta must reset the run, so no convergence.
+	for _, v := range []float64{1, 1.001, 1.002, 1.003, 2, 2.001, 2.002, 2.003} {
+		if d.Observe(v) {
+			t.Fatal("converged despite interrupted run")
+		}
+	}
+	if d.Observe(2.0035) != true {
+		t.Fatal("fourth consecutive small delta should converge")
+	}
+}
+
+func TestVarianceWindowDetectorRelative(t *testing.T) {
+	d := NewVarianceWindowDetector(0.01, true)
+	// Relative deltas of 0.5% each.
+	v := 1000.0
+	converged := false
+	for i := 0; i < 5; i++ {
+		converged = d.Observe(v)
+		v *= 1.005
+	}
+	if !converged {
+		t.Error("relative detector should converge on 0.5% steps with 1% epsilon")
+	}
+}
+
+func TestVarianceWindowDetectorReset(t *testing.T) {
+	d := NewVarianceWindowDetector(1, false)
+	for i := 0; i < 10; i++ {
+		d.Observe(0)
+	}
+	if !d.Converged() {
+		t.Fatal("should have converged")
+	}
+	d.Reset()
+	if d.Converged() || len(d.History()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("Std = %v", s.Std)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !almostEq(g, 2, 1e-12) {
+		t.Errorf("GeoMean(1,4) = %v", g)
+	}
+	if g := GeoMean([]float64{2, -1}); g != 0 {
+		t.Errorf("GeoMean with non-positive = %v, want 0", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+}
