@@ -488,6 +488,53 @@ func BenchmarkJackknifeSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkJackknifeSweepBatch is the same sweep through the batched
+// scorer the tuners now use — one VarianceBatch call fanned across the
+// worker pool.
+func BenchmarkJackknifeSweepBatch(b *testing.B) {
+	l := benchLab(b)
+	ts := autotune.NewTrainingSet(coll.Bcast)
+	cands := autotune.Candidates(coll.Bcast, l.Space, 64)
+	for _, c := range cands {
+		mean, _ := l.DS.TimeOf(coll.Bcast, c.Alg, c.Point)
+		ts.Add(c, mean, mean)
+	}
+	m, err := autotune.TrainModel(forest.Config{NTrees: 30, Seed: 3}, ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, v := range m.VarianceBatch(cands) {
+			sum += v
+		}
+		_ = sum
+	}
+}
+
+// BenchmarkSelectBatch measures the batched rule-extraction sweep: one
+// SelectBatch over the full grid vs per-point Select calls.
+func BenchmarkSelectBatch(b *testing.B) {
+	l := benchLab(b)
+	ts := autotune.NewTrainingSet(coll.Bcast)
+	for _, c := range autotune.Candidates(coll.Bcast, l.Space, 64) {
+		mean, _ := l.DS.TimeOf(coll.Bcast, c.Alg, c.Point)
+		ts.Add(c, mean, mean)
+	}
+	m, err := autotune.TrainModel(forest.Config{NTrees: 30, Seed: 3}, ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := l.Space.Points()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SelectBatch(pts)
+	}
+}
+
 // BenchmarkTraceSynthesis measures application trace generation.
 func BenchmarkTraceSynthesis(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,207 @@
+// Command benchguard parses `go test -bench` output, emits a JSON
+// snapshot (the BENCH_ci.json CI artifact), and gates on regressions
+// against a checked-in baseline.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./internal/forest/ | \
+//	    go run ./cmd/benchguard -baseline testdata/bench_baseline.json -out BENCH_ci.json
+//
+//	go test -bench=. ... | go run ./cmd/benchguard -update testdata/bench_baseline.json
+//
+// By default only allocs/op is gated: allocation counts are
+// deterministic properties of the code, so they hold the line on the
+// scratch-buffer/arena optimizations without the noise of shared CI
+// runners. Pass -time to additionally gate ns/op (useful on quiet,
+// dedicated hardware). The tolerance is relative (-tolerance 0.25
+// fails anything >25% above baseline).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_ci.json / baseline file format.
+type Snapshot struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	out := flag.String("out", "", "write the parsed snapshot JSON here")
+	update := flag.String("update", "", "write the snapshot as a new baseline to this path and exit")
+	tolerance := flag.Float64("tolerance", 0.25, "relative regression tolerance")
+	gateTime := flag.Bool("time", false, "also gate ns/op (timing is noisy on shared runners)")
+	flag.Parse()
+
+	snap, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if *out != "" {
+		if err := writeJSON(*out, snap); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	}
+	if *update != "" {
+		if err := writeJSON(*update, snap); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: baseline %s updated (%d benchmarks)\n", *update, len(snap.Benchmarks))
+		return
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := readJSON(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	failures := compare(base, snap, *tolerance, *gateTime)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchguard: %d benchmarks within %.0f%% of baseline\n",
+		len(snap.Benchmarks), *tolerance*100)
+}
+
+// parse reads standard `go test -bench` output. Lines look like:
+//
+//	BenchmarkTrainSerial-8   1   1047264713 ns/op   56239360 B/op   1342612 allocs/op   1.5 speedup
+func parse(f io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass output through for the CI log
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := normalize(fields[0])
+		r := snap.Benchmarks[name] // merge reruns: last write wins per unit
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		snap.Benchmarks[name] = r
+	}
+	return snap, sc.Err()
+}
+
+// normalize strips the -GOMAXPROCS suffix so baselines transfer across
+// machines with different core counts.
+func normalize(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare returns a message per regression beyond the tolerance.
+// Benchmarks absent from either side are skipped (adds and removals
+// are changes to review, not regressions).
+func compare(base, cur *Snapshot, tol float64, gateTime bool) []string {
+	var fails []string
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s not in baseline (new benchmark, skipping)\n", name)
+			continue
+		}
+		c := cur.Benchmarks[name]
+		check := func(metric string, baseV, curV float64) {
+			if baseV <= 0 {
+				return
+			}
+			if curV > baseV*(1+tol) {
+				fails = append(fails, fmt.Sprintf("%s %s: %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, metric, baseV, curV, 100*(curV/baseV-1), tol*100))
+			}
+		}
+		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp)
+		check("B/op", b.BytesPerOp, c.BytesPerOp)
+		if gateTime {
+			check("ns/op", b.NsPerOp, c.NsPerOp)
+		}
+	}
+	return fails
+}
+
+func readJSON(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func writeJSON(path string, s *Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

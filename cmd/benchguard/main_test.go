@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: acclaim/internal/forest
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTrainSerial-8      	       1	1047264713 ns/op	56239360 B/op	 1342612 allocs/op
+BenchmarkTrainParallel-8    	       1	 400000000 ns/op	56239360 B/op	 1342612 allocs/op
+BenchmarkTrainSpeedup       	       1	2167620197 ns/op	         8.000 procs	         2.500 speedup
+PASS
+ok  	acclaim/internal/forest	6.515s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	serial, ok := snap.Benchmarks["BenchmarkTrainSerial"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not normalized away")
+	}
+	if serial.NsPerOp != 1047264713 || serial.AllocsPerOp != 1342612 || serial.BytesPerOp != 56239360 {
+		t.Errorf("bad serial result: %+v", serial)
+	}
+	speedup := snap.Benchmarks["BenchmarkTrainSpeedup"]
+	if speedup.Metrics["speedup"] != 2.5 || speedup.Metrics["procs"] != 8 {
+		t.Errorf("custom metrics not parsed: %+v", speedup.Metrics)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkGone": {AllocsPerOp: 5},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 500, AllocsPerOp: 1100}, // allocs within 25%, time 5x
+		"BenchmarkB": {NsPerOp: 90, AllocsPerOp: 1500},  // allocs regressed 50%
+		"BenchmarkNew": {AllocsPerOp: 9},
+	}}
+	fails := compare(base, cur, 0.25, false)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkB") {
+		t.Errorf("alloc-only gate failures = %v, want just BenchmarkB", fails)
+	}
+	fails = compare(base, cur, 0.25, true)
+	if len(fails) != 2 {
+		t.Errorf("time-gated failures = %v, want BenchmarkA and BenchmarkB", fails)
+	}
+	if fails := compare(base, base, 0.25, true); len(fails) != 0 {
+		t.Errorf("identical snapshots should pass, got %v", fails)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkTrain-16":    "BenchmarkTrain",
+		"BenchmarkTrain":       "BenchmarkTrain",
+		"BenchmarkNonP2-Every": "BenchmarkNonP2-Every",
+	} {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -182,6 +182,18 @@ func (m *Model) Variance(c Candidate) float64 {
 	return m.F.JackknifeVariance(featspace.Features(c.Point, c.AlgIdx))
 }
 
+// VarianceBatch returns the jackknife variance for every candidate,
+// fanned across the forest's worker pool — the batched form of the
+// active-learning scoring sweep. out[i] equals Variance(cands[i])
+// exactly, for any worker count.
+func (m *Model) VarianceBatch(cands []Candidate) []float64 {
+	xs := make([][]float64, len(cands))
+	for i, c := range cands {
+		xs[i] = featspace.Features(c.Point, c.AlgIdx)
+	}
+	return m.F.JackknifeVarianceBatch(xs)
+}
+
 // Select returns the algorithm with the lowest predicted time at p.
 func (m *Model) Select(p featspace.Point) string {
 	algs := coll.AlgorithmNames(m.Coll)
@@ -189,6 +201,34 @@ func (m *Model) Select(p featspace.Point) string {
 	for ai, a := range algs {
 		if t := m.PredictTime(p, ai); t < bestT {
 			best, bestT = a, t
+		}
+	}
+	return best
+}
+
+// SelectBatch returns Select for every point, with one batched forest
+// sweep per algorithm instead of one tree walk per (point, algorithm).
+// Ties resolve exactly as Select does: exp is strictly monotone, so
+// comparing log-scale predictions picks the same first-lowest
+// algorithm.
+func (m *Model) SelectBatch(pts []featspace.Point) []string {
+	algs := coll.AlgorithmNames(m.Coll)
+	best := make([]string, len(pts))
+	bestT := make([]float64, len(pts))
+	for i := range bestT {
+		best[i] = algs[0]
+		bestT[i] = math.Inf(1)
+	}
+	xs := make([][]float64, len(pts))
+	for ai, a := range algs {
+		for i, p := range pts {
+			xs[i] = featspace.Features(p, ai)
+		}
+		preds := m.F.PredictBatch(xs)
+		for i, t := range preds {
+			if t < bestT[i] {
+				best[i], bestT[i] = a, t
+			}
 		}
 	}
 	return best
@@ -240,6 +280,34 @@ func (m *PerAlgModel) Select(p featspace.Point) string {
 	return best
 }
 
+// SelectBatch returns Select for every point with one batched forest
+// sweep per algorithm. Results match Select exactly, including tie
+// handling (algorithms are visited in registry order in both).
+func (m *PerAlgModel) SelectBatch(pts []featspace.Point) []string {
+	feats := make([][]float64, len(pts))
+	for i, p := range pts {
+		feats[i] = featspace.Features(p)
+	}
+	best := make([]string, len(pts))
+	bestT := make([]float64, len(pts))
+	for i := range bestT {
+		bestT[i] = math.Inf(1)
+	}
+	for _, alg := range coll.AlgorithmNames(m.Coll) {
+		f, ok := m.Forests[alg]
+		if !ok {
+			continue
+		}
+		preds := f.PredictBatch(feats)
+		for i, t := range preds {
+			if t < bestT[i] {
+				best[i], bestT[i] = alg, t
+			}
+		}
+	}
+	return best
+}
+
 // Selector is anything that picks an algorithm for a feature point —
 // trained models, rule tables, and static heuristics all qualify.
 type Selector interface {
@@ -252,6 +320,27 @@ type SelectorFunc func(p featspace.Point) string
 // Select implements Selector.
 func (f SelectorFunc) Select(p featspace.Point) string { return f(p) }
 
+// BatchSelector is a Selector that can answer many points in one call,
+// typically by fanning forest walks across a worker pool. SelectBatch
+// must return exactly what point-by-point Select calls would.
+type BatchSelector interface {
+	Selector
+	SelectBatch(pts []featspace.Point) []string
+}
+
+// selections resolves the chosen algorithm for every point, using the
+// batched path when the selector supports it.
+func selections(sel Selector, pts []featspace.Point) []string {
+	if bs, ok := sel.(BatchSelector); ok {
+		return bs.SelectBatch(pts)
+	}
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = sel.Select(p)
+	}
+	return out
+}
+
 // EvalSlowdown computes the paper's average-slowdown metric for a
 // selector over the test points, with ground truth from the dataset:
 // mean over points of time(selected)/time(best). Points with no dataset
@@ -261,25 +350,29 @@ func EvalSlowdown(ds *dataset.Dataset, cl coll.Collective, pts []featspace.Point
 	if len(pts) == 0 {
 		return 0, errors.New("autotune: no evaluation points")
 	}
-	var sum float64
-	n := 0
+	// Restrict to benchmarked points first, so selectors are only ever
+	// queried where ground truth exists (as the per-point loop did).
+	var kept []featspace.Point
+	var bests []float64
 	for _, p := range pts {
-		_, best, ok := ds.Best(cl, p)
-		if !ok {
-			continue // point not benchmarked; skip
+		if _, best, ok := ds.Best(cl, p); ok {
+			kept = append(kept, p)
+			bests = append(bests, best)
 		}
-		alg := sel.Select(p)
-		got, ok := ds.TimeOf(cl, alg, p)
-		if !ok {
-			return 0, fmt.Errorf("autotune: dataset has no %v/%s at %v", cl, alg, p)
-		}
-		sum += got / best
-		n++
 	}
-	if n == 0 {
+	if len(kept) == 0 {
 		return 0, errors.New("autotune: no evaluation points present in dataset")
 	}
-	return sum / float64(n), nil
+	algs := selections(sel, kept)
+	var sum float64
+	for i, p := range kept {
+		got, ok := ds.TimeOf(cl, algs[i], p)
+		if !ok {
+			return 0, fmt.Errorf("autotune: dataset has no %v/%s at %v", cl, algs[i], p)
+		}
+		sum += got / bests[i]
+	}
+	return sum / float64(len(kept)), nil
 }
 
 // Ledger tracks the machine time an autotuner's training consumed, the

@@ -278,3 +278,92 @@ func TestLearningCurve(t *testing.T) {
 		t.Errorf("sub-minimal fraction not skipped: %v, %v", c2, err)
 	}
 }
+
+// TestBatchEquivalence: the batched model APIs must agree exactly with
+// their per-point counterparts — this is what lets the selection loops
+// in core, fact, and hunold fan out without changing results.
+func TestBatchEquivalence(t *testing.T) {
+	ds := tinyDataset(t)
+	ts := trainOn(t, ds, coll.Bcast)
+	cands := Candidates(coll.Bcast, tinySpace(), 64)
+	pts := tinySpace().Points()
+
+	for _, workers := range []int{1, 4} {
+		m, err := TrainModel(forest.Config{Seed: 5, NTrees: 25, Workers: workers}, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := m.VarianceBatch(cands)
+		if len(vs) != len(cands) {
+			t.Fatalf("VarianceBatch length %d, want %d", len(vs), len(cands))
+		}
+		for i, c := range cands {
+			if vs[i] != m.Variance(c) {
+				t.Fatalf("workers=%d VarianceBatch[%d] = %v, Variance = %v", workers, i, vs[i], m.Variance(c))
+			}
+		}
+		sels := m.SelectBatch(pts)
+		for i, p := range pts {
+			if sels[i] != m.Select(p) {
+				t.Fatalf("workers=%d SelectBatch[%d] = %q, Select = %q", workers, i, sels[i], m.Select(p))
+			}
+		}
+
+		pam, err := TrainPerAlg(forest.Config{Seed: 6, NTrees: 25, Workers: workers}, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psels := pam.SelectBatch(pts)
+		for i, p := range pts {
+			if psels[i] != pam.Select(p) {
+				t.Fatalf("workers=%d PerAlg SelectBatch[%d] = %q, Select = %q", workers, i, psels[i], pam.Select(p))
+			}
+		}
+	}
+}
+
+// TestEvalSlowdownBatchPath: EvalSlowdown must return the same value
+// whether the selector exposes the batched interface or not.
+func TestEvalSlowdownBatchPath(t *testing.T) {
+	ds := tinyDataset(t)
+	ts := trainOn(t, ds, coll.Bcast)
+	m, err := TrainModel(forest.Config{Seed: 7, NTrees: 25}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := tinySpace().Points()
+	// m is a BatchSelector; wrapping its Select in a SelectorFunc hides
+	// the batch interface and forces the per-point path.
+	batched, err := EvalSlowdown(ds, coll.Bcast, pts, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointwise, err := EvalSlowdown(ds, coll.Bcast, pts, SelectorFunc(m.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched != pointwise {
+		t.Errorf("batched EvalSlowdown = %v, pointwise = %v", batched, pointwise)
+	}
+}
+
+// TestEvalSlowdownSkipsUnbenchmarked: the selector must only be asked
+// about points the dataset can price, even on the batched path.
+func TestEvalSlowdownSkipsUnbenchmarked(t *testing.T) {
+	ds := tinyDataset(t)
+	pts := append([]featspace.Point{{Nodes: 999, PPN: 1, MsgBytes: 8}}, tinySpace().Points()...)
+	sel := SelectorFunc(func(p featspace.Point) string {
+		if p.Nodes == 999 {
+			t.Fatal("selector queried at an unbenchmarked point")
+		}
+		alg, _, _ := ds.Best(coll.Bcast, p)
+		return alg
+	})
+	sd, err := EvalSlowdown(ds, coll.Bcast, pts, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd != 1 {
+		t.Errorf("oracle slowdown = %v, want 1", sd)
+	}
+}

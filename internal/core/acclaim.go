@@ -132,6 +132,10 @@ type Result struct {
 // Select implements autotune.Selector.
 func (r *Result) Select(p featspace.Point) string { return r.Model.Select(p) }
 
+// SelectBatch implements autotune.BatchSelector via the unified model's
+// batched sweep.
+func (r *Result) SelectBatch(pts []featspace.Point) []string { return r.Model.SelectBatch(pts) }
+
 // NonP2Share returns the fraction of actively *selected* samples (the
 // post-seed part of the collection order) with non-P2 message sizes —
 // ~1/NonP2Every by construction, the paper's 80-20 split.
@@ -176,13 +180,14 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		}
 		res.Model = model
 
-		// Jackknife variance for every candidate; their sum is the
-		// cumulative variance used in place of a test-set metric.
-		variances := make([]float64, len(cands))
+		// Jackknife variance for every candidate — one batched sweep
+		// across the forest's worker pool; their sum is the cumulative
+		// variance used in place of a test-set metric. The sum runs in
+		// index order, so it is bit-identical at any worker count.
+		variances := model.VarianceBatch(cands)
 		var cum float64
-		for i, cand := range cands {
-			variances[i] = model.Variance(cand)
-			cum += variances[i]
+		for _, v := range variances {
+			cum += v
 		}
 
 		tp := autotune.TracePoint{

@@ -81,6 +81,10 @@ type Result struct {
 // Select implements autotune.Selector.
 func (r *Result) Select(p featspace.Point) string { return r.Model.Select(p) }
 
+// SelectBatch implements autotune.BatchSelector via the per-algorithm
+// models' batched sweep.
+func (r *Result) SelectBatch(pts []featspace.Point) []string { return r.Model.SelectBatch(pts) }
+
 // splitPoints partitions the grid's points into train and test pools.
 func (t *Tuner) splitPoints(c coll.Collective, rng *rand.Rand) (train, test []featspace.Point) {
 	var pts []featspace.Point
@@ -225,21 +229,27 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 }
 
 // argmaxVariance returns the uncollected candidate with the highest
-// surrogate variance. Ties break toward the earlier pool position for
-// determinism.
+// surrogate variance, scoring the open pool in one batched sweep. Ties
+// break toward the earlier pool position for determinism (the open
+// list preserves pool order and the comparison is strict).
 func argmaxVariance(m *autotune.Model, pool []autotune.Candidate, ts *autotune.TrainingSet) (autotune.Candidate, bool) {
-	best := autotune.Candidate{}
-	bestV := math.Inf(-1)
-	found := false
+	var open []autotune.Candidate
 	for _, cand := range pool {
-		if ts.Has(cand) {
-			continue
-		}
-		if v := m.Variance(cand); v > bestV {
-			best, bestV, found = cand, v, true
+		if !ts.Has(cand) {
+			open = append(open, cand)
 		}
 	}
-	return best, found
+	if len(open) == 0 {
+		return autotune.Candidate{}, false
+	}
+	vs := m.VarianceBatch(open)
+	bestI := 0
+	for i, v := range vs {
+		if v > vs[bestI] {
+			bestI = i
+		}
+	}
+	return open[bestI], true
 }
 
 // LearningCurve trains per-algorithm models on prefixes of a completed

@@ -1,0 +1,121 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// testingBenchTime times one call of fn in seconds.
+func testingBenchTime(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// benchData builds the acceptance-criteria workload: 2000 samples,
+// 4 features, a noisy nonlinear target.
+func benchData(n int) (x [][]float64, y []float64) {
+	rng := rand.New(rand.NewSource(99))
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64() * 16, rng.Float64() * 8, rng.Float64() * 20, rng.Float64()}
+		y[i] = math.Log1p(x[i][0]*x[i][2]) + math.Sin(x[i][1]) + rng.NormFloat64()*0.05
+	}
+	return x, y
+}
+
+func benchTrain(b *testing.B, workers int) {
+	x, y := benchData(2000)
+	cfg := Config{NTrees: 100, Seed: 7, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(cfg, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainSerial is the baseline: 100 trees, 2k samples, one
+// worker.
+func BenchmarkTrainSerial(b *testing.B) { benchTrain(b, 1) }
+
+// BenchmarkTrainParallel is the same workload on the full worker pool —
+// the acceptance criterion is >= 2x over BenchmarkTrainSerial at 8
+// cores.
+func BenchmarkTrainParallel(b *testing.B) { benchTrain(b, 0) }
+
+// BenchmarkTrainSpeedup trains serial and parallel back to back and
+// reports the observed speedup as a metric, so the ratio itself lands
+// in benchmark output (machine-independent, unlike ns/op).
+func BenchmarkTrainSpeedup(b *testing.B) {
+	x, y := benchData(2000)
+	serial := Config{NTrees: 100, Seed: 7, Workers: 1}
+	parallel := Config{NTrees: 100, Seed: 7, Workers: 0}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		ts := testingBenchTime(func() {
+			if _, err := Train(serial, x, y); err != nil {
+				b.Fatal(err)
+			}
+		})
+		tp := testingBenchTime(func() {
+			if _, err := Train(parallel, x, y); err != nil {
+				b.Fatal(err)
+			}
+		})
+		speedup = ts / tp
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+}
+
+func benchScore(b *testing.B, batch bool) {
+	x, y := benchData(2000)
+	f, err := Train(Config{NTrees: 100, Seed: 7}, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	queries := make([][]float64, 1024)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 16, rng.Float64() * 8, rng.Float64() * 20, rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			_ = f.JackknifeVarianceBatch(queries)
+		} else {
+			for _, q := range queries {
+				_ = f.JackknifeVariance(q)
+			}
+		}
+	}
+}
+
+// BenchmarkJackknifePointwise scores 1024 candidates one call at a
+// time — the pre-batching active-learning sweep.
+func BenchmarkJackknifePointwise(b *testing.B) { benchScore(b, false) }
+
+// BenchmarkJackknifeBatch scores the same 1024 candidates through
+// JackknifeVarianceBatch.
+func BenchmarkJackknifeBatch(b *testing.B) { benchScore(b, true) }
+
+// BenchmarkPredictBatch measures the batched mean-prediction sweep.
+func BenchmarkPredictBatch(b *testing.B) {
+	x, y := benchData(2000)
+	f, err := Train(Config{NTrees: 100, Seed: 7}, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.PredictBatch(x)
+	}
+}

@@ -5,13 +5,22 @@
 // subsampling, and the jackknife uncertainty estimate over the ensemble
 // (Wager, Hastie & Efron), which is the signal ACCLAiM's active
 // learning uses to pick training points.
+//
+// Training and batch scoring run on a bounded worker pool
+// (Config.Workers). The per-tree RNG state is drawn from the master
+// stream before any goroutine starts, so the trained forest is
+// bit-identical for every worker count — see DESIGN.md, "Concurrency
+// model".
 package forest
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"acclaim/internal/stats"
 )
@@ -23,6 +32,12 @@ type Config struct {
 	MinLeaf  int   // minimum samples per leaf (default 1)
 	MTry     int   // features considered per split (default: all)
 	Seed     int64 // RNG seed for bootstrap and feature sampling
+
+	// Workers bounds the goroutine pool used by Train and the Batch
+	// scoring methods. 0 means runtime.GOMAXPROCS(0); 1 forces the
+	// serial path. The trained forest and all scores are independent of
+	// this value.
+	Workers int
 }
 
 func (c Config) withDefaults(nFeatures int) Config {
@@ -39,6 +54,21 @@ func (c Config) withDefaults(nFeatures int) Config {
 		c.MTry = nFeatures
 	}
 	return c
+}
+
+// workers resolves the effective pool size for n independent work items.
+func (c Config) workers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // node is one tree node in a flat arena. Leaves have left == -1.
@@ -79,7 +109,11 @@ type Forest struct {
 }
 
 // Train fits a forest on X (rows are samples) and y. All rows must have
-// equal length. Training is deterministic for a given Config.Seed.
+// equal length. Training is deterministic for a given Config.Seed: the
+// bootstrap indices and per-tree builder seeds are drawn from the
+// master RNG stream up front, in tree order, exactly as a serial loop
+// would draw them, and only then are the trees grown on the worker
+// pool — so every Workers setting yields a bit-identical forest.
 func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 	if len(x) == 0 {
 		return nil, errors.New("forest: no training samples")
@@ -98,34 +132,89 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 	}
 	cfg = cfg.withDefaults(nf)
 	f := &Forest{cfg: cfg, trees: make([]tree, cfg.NTrees), nFeatures: nf}
+
+	// Pre-draw every tree's random inputs serially from the master
+	// stream. This is O(NTrees·nSamples) cheap RNG calls — negligible
+	// next to tree growth — and is what makes parallel training
+	// reproduce the serial forest bit for bit.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	for ti := range f.trees {
-		// Bootstrap sample.
-		idx := make([]int, len(x))
+	boots := make([][]int, cfg.NTrees)
+	seeds := make([]int64, cfg.NTrees)
+	flat := make([]int, cfg.NTrees*len(x)) // one allocation for all bootstraps
+	for ti := range boots {
+		idx := flat[ti*len(x) : (ti+1)*len(x)]
 		for i := range idx {
 			idx[i] = rng.Intn(len(x))
 		}
-		b := &builder{
-			x: x, y: y, cfg: cfg,
-			rng: rand.New(rand.NewSource(rng.Int63())),
-		}
-		b.grow(idx, 0)
-		f.trees[ti] = tree{nodes: b.nodes}
+		boots[ti] = idx
+		seeds[ti] = rng.Int63()
 	}
+
+	workers := cfg.workers(cfg.NTrees)
+	if workers == 1 {
+		b := &builder{x: x, y: y, cfg: cfg}
+		for ti := range f.trees {
+			f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+		}
+		return f, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One builder per worker: its scratch buffers are reused
+			// across every tree the worker grows.
+			b := &builder{x: x, y: y, cfg: cfg}
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= cfg.NTrees {
+					return
+				}
+				f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+			}
+		}()
+	}
+	wg.Wait()
 	return f, nil
 }
 
-// builder grows one tree.
+// fv pairs one sample's feature value with its target for split scans.
+type fv struct{ v, y float64 }
+
+// builder grows trees. One builder serves one goroutine; its scratch
+// buffers (perm, vals, part) persist across trees to keep per-split
+// allocations off the hot path.
 type builder struct {
 	x     [][]float64
 	y     []float64
 	cfg   Config
 	rng   *rand.Rand
 	nodes []node
+	hint  int // node count of the last tree grown, sizes the next arena
+
+	perm []int // scratch: feature permutation (mirrors rand.Perm)
+	vals []fv  // scratch: sorted (value, target) pairs per split scan
+	part []int // scratch: right-side buffer for stable partition
+}
+
+// build grows one tree from a fresh seed and bootstrap sample and
+// returns its node arena. The arena is freshly allocated per tree (it
+// is retained by the Forest); all other buffers are reused.
+func (b *builder) build(seed int64, boot []int) []node {
+	b.rng = rand.New(rand.NewSource(seed))
+	b.nodes = make([]node, 0, b.hint)
+	b.grow(boot, 0)
+	nodes := b.nodes
+	b.nodes = nil
+	b.hint = len(nodes)
+	return nodes
 }
 
 // grow builds the subtree over the samples in idx and returns its node
-// index.
+// index. idx is partitioned in place (order-preserving), so the caller
+// must not rely on its order afterwards.
 func (b *builder) grow(idx []int, depth int) int {
 	mean, sse := meanSSE(b.y, idx)
 	self := len(b.nodes)
@@ -137,14 +226,7 @@ func (b *builder) grow(idx []int, depth int) int {
 	if !ok {
 		return self
 	}
-	var left, right []int
-	for _, i := range idx {
-		if b.x[i][feat] <= thresh {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
+	left, right := b.partition(idx, feat, thresh)
 	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
 		return self
 	}
@@ -157,15 +239,58 @@ func (b *builder) grow(idx []int, depth int) int {
 	return self
 }
 
+// partition splits idx into the samples at or below thresh on feat and
+// those above, preserving relative order (a stable partition, so the
+// split scan downstream sees the same sample order the append-based
+// partition produced). It reuses b.part and returns two subslices of
+// idx.
+func (b *builder) partition(idx []int, feat int, thresh float64) (left, right []int) {
+	if cap(b.part) < len(idx) {
+		b.part = make([]int, 0, len(idx))
+	}
+	rbuf := b.part[:0]
+	k := 0
+	for _, i := range idx {
+		if b.x[i][feat] <= thresh {
+			idx[k] = i
+			k++
+		} else {
+			rbuf = append(rbuf, i)
+		}
+	}
+	b.part = rbuf
+	copy(idx[k:], rbuf)
+	return idx[:k], idx[k:]
+}
+
+// featurePerm fills b.perm with the permutation rand.Perm would produce
+// from the same stream (same Intn call sequence, no allocation) and
+// returns its first MTry entries.
+func (b *builder) featurePerm(n int) []int {
+	if cap(b.perm) < n {
+		b.perm = make([]int, n)
+	}
+	m := b.perm[:n]
+	m[0] = 0 // scratch may be dirty; rand.Perm starts from a zeroed slice
+	for i := 1; i < n; i++ {
+		j := b.rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m[:b.cfg.MTry]
+}
+
 // bestSplit scans MTry random features for the threshold minimizing the
 // children's summed SSE. Returns ok=false if no split improves on the
 // parent.
 func (b *builder) bestSplit(idx []int, parentSSE float64) (feat int, thresh float64, ok bool) {
 	nf := len(b.x[0])
-	feats := b.rng.Perm(nf)[:b.cfg.MTry]
+	feats := b.featurePerm(nf)
 	bestSSE := parentSSE - 1e-12
-	type fv struct{ v, y float64 }
-	vals := make([]fv, len(idx))
+	if cap(b.vals) < len(idx) {
+		b.vals = make([]fv, len(idx))
+	}
+	vals := b.vals[:len(idx)]
 	for _, f := range feats {
 		for j, i := range idx {
 			vals[j] = fv{b.x[i][f], b.y[i]}
@@ -241,10 +366,15 @@ func (f *Forest) Predict(x []float64) float64 {
 func (f *Forest) TreePredictions(x []float64) []float64 {
 	f.check(x)
 	out := make([]float64, len(f.trees))
-	for i := range f.trees {
-		out[i] = f.trees[i].predict(x)
-	}
+	f.treePredictInto(x, out)
 	return out
+}
+
+// treePredictInto fills dst (len == NumTrees) with per-tree predictions.
+func (f *Forest) treePredictInto(x []float64, dst []float64) {
+	for i := range f.trees {
+		dst[i] = f.trees[i].predict(x)
+	}
 }
 
 // JackknifeVariance computes the jackknife variance of the ensemble's
@@ -252,6 +382,77 @@ func (f *Forest) TreePredictions(x []float64) []float64 {
 // following Wager et al.).
 func (f *Forest) JackknifeVariance(x []float64) float64 {
 	return stats.JackknifeVariance(f.TreePredictions(x))
+}
+
+// forEach runs fn(worker, i) for i in [0, n) across the worker pool.
+// Each index is processed exactly once; fn must only write state owned
+// by index i (or by its worker id).
+func (f *Forest) forEach(n int, fn func(worker, i int)) {
+	workers := f.cfg.workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// PredictBatch returns the ensemble mean prediction for every row of
+// xs, fanned across the worker pool. out[i] depends only on xs[i], so
+// the result is identical for every Workers setting. It panics if any
+// row has the wrong dimensionality.
+func (f *Forest) PredictBatch(xs [][]float64) []float64 {
+	for _, x := range xs {
+		f.check(x)
+	}
+	out := make([]float64, len(xs))
+	f.forEach(len(xs), func(_, i int) {
+		var s float64
+		for t := range f.trees {
+			s += f.trees[t].predict(xs[i])
+		}
+		out[i] = s / float64(len(f.trees))
+	})
+	return out
+}
+
+// JackknifeVarianceBatch returns the jackknife variance at every row of
+// xs, fanned across the worker pool — the batched form of the
+// active-learning scoring sweep. Per-worker prediction buffers are
+// reused, so the sweep allocates O(workers·NumTrees) instead of
+// O(len(xs)·NumTrees).
+func (f *Forest) JackknifeVarianceBatch(xs [][]float64) []float64 {
+	for _, x := range xs {
+		f.check(x)
+	}
+	out := make([]float64, len(xs))
+	workers := f.cfg.workers(len(xs))
+	bufs := make([][]float64, workers)
+	for w := range bufs {
+		bufs[w] = make([]float64, len(f.trees))
+	}
+	f.forEach(len(xs), func(w, i int) {
+		preds := bufs[w]
+		f.treePredictInto(xs[i], preds)
+		out[i] = stats.JackknifeVariance(preds)
+	})
+	return out
 }
 
 func (f *Forest) check(x []float64) {

@@ -273,3 +273,133 @@ func TestMTrySubsampling(t *testing.T) {
 		t.Error("MTry=1 forest failed to learn increasing trend")
 	}
 }
+
+// refTrain is a frozen copy of the original serial training loop (one
+// master RNG, trees grown strictly in order, builder RNG seeded from
+// the master stream after each bootstrap). The parallel Train must
+// reproduce it bit for bit at every worker count.
+func refTrain(cfg Config, x [][]float64, y []float64) *Forest {
+	cfg = cfg.withDefaults(len(x[0]))
+	f := &Forest{cfg: cfg, trees: make([]tree, cfg.NTrees), nFeatures: len(x[0])}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for ti := range f.trees {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		b := &builder{x: x, y: y, cfg: cfg}
+		b.rng = rand.New(rand.NewSource(rng.Int63()))
+		b.nodes = make([]node, 0)
+		b.grow(idx, 0)
+		f.trees[ti] = tree{nodes: b.nodes}
+	}
+	return f
+}
+
+// forestsIdentical compares two forests node by node.
+func forestsIdentical(a, b *Forest) bool {
+	if len(a.trees) != len(b.trees) {
+		return false
+	}
+	for ti := range a.trees {
+		ta, tb := a.trees[ti].nodes, b.trees[ti].nodes
+		if len(ta) != len(tb) {
+			return false
+		}
+		for ni := range ta {
+			if ta[ni] != tb[ni] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestParallelTrainingBitIdentical is the determinism contract of the
+// worker pool: for a fixed seed, Workers=1, Workers=N, and the frozen
+// serial reference all produce the same forest, the same Predict
+// values, and the same JackknifeVariance values.
+func TestParallelTrainingBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		y[i] = math.Sin(x[i][0]) + x[i][1]*x[i][2]/10 + rng.NormFloat64()*0.1
+	}
+	for _, cfg := range []Config{
+		{Seed: 21, NTrees: 17},
+		{Seed: 22, NTrees: 8, MTry: 2, MaxDepth: 6, MinLeaf: 3},
+	} {
+		ref := refTrain(cfg, x, y)
+		for _, workers := range []int{1, 2, 3, 8, 33} {
+			c := cfg
+			c.Workers = workers
+			f, err := Train(c, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !forestsIdentical(ref, f) {
+				t.Fatalf("Workers=%d forest differs from serial reference (cfg %+v)", workers, cfg)
+			}
+			for i := 0; i < 20; i++ {
+				in := []float64{rng.Float64() * 12, rng.Float64() * 12, rng.Float64() * 12}
+				if ref.Predict(in) != f.Predict(in) {
+					t.Fatalf("Workers=%d Predict differs", workers)
+				}
+				if ref.JackknifeVariance(in) != f.JackknifeVariance(in) {
+					t.Fatalf("Workers=%d JackknifeVariance differs", workers)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatchesPointwise: the batched scorers must agree exactly
+// with their per-point counterparts at every worker count.
+func TestBatchMatchesPointwise(t *testing.T) {
+	x, y := grid2d(10, func(a, b float64) float64 { return a*a - 3*b })
+	rng := rand.New(rand.NewSource(31))
+	queries := make([][]float64, 157)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 12, rng.Float64() * 12}
+	}
+	for _, workers := range []int{0, 1, 4, 9} {
+		f, err := Train(Config{Seed: 30, NTrees: 20, Workers: workers}, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds := f.PredictBatch(queries)
+		vars := f.JackknifeVarianceBatch(queries)
+		if len(preds) != len(queries) || len(vars) != len(queries) {
+			t.Fatalf("batch output lengths %d/%d, want %d", len(preds), len(vars), len(queries))
+		}
+		for i, q := range queries {
+			if preds[i] != f.Predict(q) {
+				t.Fatalf("Workers=%d PredictBatch[%d] = %v, Predict = %v", workers, i, preds[i], f.Predict(q))
+			}
+			if vars[i] != f.JackknifeVariance(q) {
+				t.Fatalf("Workers=%d JackknifeVarianceBatch[%d] = %v, JackknifeVariance = %v", workers, i, vars[i], f.JackknifeVariance(q))
+			}
+		}
+	}
+}
+
+// TestBatchEmptyAndPanic covers the degenerate batch inputs.
+func TestBatchEmptyAndPanic(t *testing.T) {
+	x, y := grid2d(4, func(a, b float64) float64 { return a })
+	f, _ := Train(Config{Seed: 33}, x, y)
+	if got := f.PredictBatch(nil); len(got) != 0 {
+		t.Errorf("PredictBatch(nil) = %v, want empty", got)
+	}
+	if got := f.JackknifeVarianceBatch([][]float64{}); len(got) != 0 {
+		t.Errorf("JackknifeVarianceBatch(empty) = %v, want empty", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-dimension batch row should panic")
+		}
+	}()
+	f.PredictBatch([][]float64{{1, 2}, {1}})
+}

@@ -73,6 +73,11 @@ type Result struct {
 // Select implements autotune.Selector.
 func (r *Result) Select(p featspace.Point) string { return r.Model.Select(p) }
 
+// SelectBatch implements autotune.BatchSelector via the per-algorithm
+// models' batched sweep, so slowdown evaluation over large test grids
+// fans across the worker pool.
+func (r *Result) SelectBatch(pts []featspace.Point) []string { return r.Model.SelectBatch(pts) }
+
 // Tune collects a fraction of the candidate pool at random and trains
 // the per-algorithm models (the original design has no convergence
 // loop; the fraction is the operator's choice).

@@ -76,8 +76,12 @@ func TestTransferMonotoneInDistance(t *testing.T) {
 	}
 }
 
-// Property: transfer time is strictly increasing in message size and
-// symmetric in direction.
+// Property: transfer time is symmetric in direction, positive, and
+// strictly increasing in message size within a P2 class. Across the
+// P2/non-P2 boundary monotonicity deliberately breaks: the model's
+// alignment penalty means a 3072-byte message can cost more than a
+// 4096-byte one (the cliff ACCLAiM's Section IV-B exists to learn), so
+// the growth property only applies when both sizes share the penalty.
 func TestTransferProperties(t *testing.T) {
 	mach := cluster.Machine{Nodes: 64, NodesPerRack: 4, CoresPerNode: 64}
 	alloc, _ := cluster.Contiguous(mach, 0, 16)
@@ -92,10 +96,28 @@ func TestTransferProperties(t *testing.T) {
 		t1 := m.Transfer(a, b, small)
 		t2 := m.Transfer(a, b, small+1024)
 		sym := m.Transfer(b, a, small)
-		return t2 > t1 && t1 == sym && t1 > 0
+		if t1 != sym || t1 <= 0 {
+			return false
+		}
+		if small > 0 && isP2(small) != isP2(small+1024) {
+			return true // crossing the alignment cliff: no ordering guaranteed
+		}
+		return t2 > t1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTransferNonP2Cliff pins the cliff itself: a non-P2 message may
+// cost more than the next P2 size up, and the penalty applies exactly
+// when the size is not a power of two.
+func TestTransferNonP2Cliff(t *testing.T) {
+	mach := cluster.Machine{Nodes: 64, NodesPerRack: 4, CoresPerNode: 64}
+	alloc, _ := cluster.Contiguous(mach, 0, 16)
+	m := mustModel(t, 4, alloc)
+	if p2, nonP2 := m.Transfer(0, 2, 4096), m.Transfer(0, 2, 3072); nonP2 <= p2 {
+		t.Errorf("non-P2 3072B transfer (%v) not above P2 4096B (%v)", nonP2, p2)
 	}
 }
 

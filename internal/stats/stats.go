@@ -10,6 +10,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
@@ -135,8 +136,18 @@ const ConvergenceCriterion = 1.03
 // or below Limit. It mirrors the average-slowdown criterion used by FACT
 // and the paper's Figure 10 markers. The zero value is not ready for
 // use; construct with NewThresholdDetector.
+//
+// All detectors in this package are safe for concurrent use: once the
+// scoring sweep feeding a detector runs on a worker pool, the ledger
+// and its convergence state become shared, and Observe may be called
+// from multiple goroutines. Note that with concurrent observers the
+// *order* of observations is scheduling-dependent; deterministic runs
+// should funnel observations through one goroutine (as the tuners do)
+// and rely on the lock only as a guard rail.
 type ThresholdDetector struct {
-	Limit     float64
+	Limit float64
+
+	mu        sync.Mutex
 	converged bool
 	history   []float64
 }
@@ -150,6 +161,8 @@ func NewThresholdDetector(limit float64) *ThresholdDetector {
 // Convergence latches: after the first sample at or below the limit the
 // detector stays converged.
 func (d *ThresholdDetector) Observe(v float64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.history = append(d.history, v)
 	if v <= d.Limit {
 		d.converged = true
@@ -158,10 +171,18 @@ func (d *ThresholdDetector) Observe(v float64) bool {
 }
 
 // Converged reports whether the detector has latched.
-func (d *ThresholdDetector) Converged() bool { return d.converged }
+func (d *ThresholdDetector) Converged() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.converged
+}
 
-// History returns all observed samples in order.
-func (d *ThresholdDetector) History() []float64 { return d.history }
+// History returns a copy of all observed samples in order.
+func (d *ThresholdDetector) History() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]float64(nil), d.history...)
+}
 
 // VarianceWindowDetector implements ACCLAiM's test-set-free convergence
 // criterion (Section VI-C): training stops once Window consecutive
@@ -176,6 +197,7 @@ type VarianceWindowDetector struct {
 	Epsilon  float64 // delta bound
 	Relative bool    // interpret Epsilon as a relative change
 
+	mu        sync.Mutex
 	last      float64
 	have      bool
 	smallRun  int
@@ -192,6 +214,8 @@ func NewVarianceWindowDetector(epsilon float64, relative bool) *VarianceWindowDe
 // Observe records a cumulative-variance sample and returns true once the
 // run of small deltas reaches the window length. Convergence latches.
 func (d *VarianceWindowDetector) Observe(v float64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.history = append(d.history, v)
 	if d.converged {
 		return true
@@ -217,13 +241,23 @@ func (d *VarianceWindowDetector) Observe(v float64) bool {
 }
 
 // Converged reports whether the detector has latched.
-func (d *VarianceWindowDetector) Converged() bool { return d.converged }
+func (d *VarianceWindowDetector) Converged() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.converged
+}
 
-// History returns all observed samples in order.
-func (d *VarianceWindowDetector) History() []float64 { return d.history }
+// History returns a copy of all observed samples in order.
+func (d *VarianceWindowDetector) History() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]float64(nil), d.history...)
+}
 
 // Reset clears all state so the detector can be reused.
 func (d *VarianceWindowDetector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.last, d.have, d.smallRun, d.converged, d.history = 0, false, 0, false, nil
 }
 
@@ -240,6 +274,7 @@ type StallDetector struct {
 	Window     int     // window length (default 5 when zero)
 	MinImprove float64 // required relative change per window to keep training
 
+	mu        sync.Mutex
 	history   []float64
 	converged bool
 }
@@ -251,6 +286,8 @@ func (d *StallDetector) Observe(v float64) bool {
 	if w <= 0 {
 		w = 5
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.history = append(d.history, v)
 	if d.converged {
 		return true
@@ -279,10 +316,18 @@ func (d *StallDetector) Observe(v float64) bool {
 }
 
 // Converged reports whether the detector has latched.
-func (d *StallDetector) Converged() bool { return d.converged }
+func (d *StallDetector) Converged() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.converged
+}
 
-// History returns all observed samples in order.
-func (d *StallDetector) History() []float64 { return d.history }
+// History returns a copy of all observed samples in order.
+func (d *StallDetector) History() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]float64(nil), d.history...)
+}
 
 // Summary holds descriptive statistics of a sample.
 type Summary struct {

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -233,5 +234,111 @@ func TestGeoMean(t *testing.T) {
 	}
 	if g := GeoMean(nil); g != 0 {
 		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+}
+
+// --- Concurrency: once scoring runs on a worker pool, the autotune
+// ledger and its convergence detector become shared state. These tests
+// hammer each detector from many goroutines; run with -race.
+
+func TestThresholdDetectorConcurrent(t *testing.T) {
+	d := NewThresholdDetector(1.03)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Every goroutine's last observation is below the limit,
+				// so the detector must latch regardless of interleaving.
+				v := 2.0
+				if i == perG-1 {
+					v = 1.0
+				}
+				d.Observe(v)
+				_ = d.Converged()
+				_ = d.History()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !d.Converged() {
+		t.Error("detector did not latch")
+	}
+	if got := len(d.History()); got != goroutines*perG {
+		t.Errorf("history length = %d, want %d (lost observations)", got, goroutines*perG)
+	}
+}
+
+func TestVarianceWindowDetectorConcurrent(t *testing.T) {
+	d := NewVarianceWindowDetector(1e-9, false)
+	const goroutines = 8
+	const perG = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// A constant series: every delta is zero, so however the
+				// observations interleave the run of small deltas grows
+				// and the detector must latch.
+				d.Observe(5.0)
+				_ = d.Converged()
+				_ = d.History()
+			}
+		}()
+	}
+	wg.Wait()
+	if !d.Converged() {
+		t.Error("constant series did not converge")
+	}
+	if got := len(d.History()); got != goroutines*perG {
+		t.Errorf("history length = %d, want %d", got, goroutines*perG)
+	}
+	d.Reset()
+	if d.Converged() || len(d.History()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestStallDetectorConcurrent(t *testing.T) {
+	d := &StallDetector{Window: 5, MinImprove: 0.05}
+	const goroutines = 8
+	const perG = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// A flat series stalls by definition under any
+				// interleaving.
+				d.Observe(10.0)
+				_ = d.Converged()
+				_ = d.History()
+			}
+		}()
+	}
+	wg.Wait()
+	if !d.Converged() {
+		t.Error("flat series did not stall")
+	}
+	if got := len(d.History()); got != goroutines*perG {
+		t.Errorf("history length = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestHistoryIsACopy: History must hand back a snapshot, not the live
+// backing array a concurrent Observe could be appending to.
+func TestHistoryIsACopy(t *testing.T) {
+	d := NewThresholdDetector(0)
+	d.Observe(5)
+	h := d.History()
+	h[0] = -1
+	if d.History()[0] != 5 {
+		t.Error("History returned the live slice, not a copy")
 	}
 }
