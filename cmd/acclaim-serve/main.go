@@ -1,0 +1,159 @@
+// Command acclaim-serve answers algorithm-selection queries from a
+// tuned rule file through the lock-free serving engine
+// (internal/ruleserver). It is the deployment half of the ACCLAiM
+// pipeline: cmd/acclaim produces a selection file, acclaim-serve loads
+// it and resolves (collective, nodes, ppn, message-size) queries to
+// algorithm names at interconnect-friendly latency.
+//
+// One-shot queries:
+//
+//	acclaim-serve -rules tuned.json -query bcast:16:8:65536 -query allreduce:4:2:1024
+//
+// Streaming mode (one "<collective> <nodes> <ppn> <msg>" query per
+// stdin line, one algorithm per stdout line):
+//
+//	printf 'bcast 16 8 65536\n' | acclaim-serve -rules tuned.json
+//
+// With -watch, the rule file's modification time is polled and the
+// serving snapshot is hot-swapped whenever the file changes; in-flight
+// lookups are never blocked. -stats prints serving counters to stderr
+// on exit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/ruleserver"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, ",") }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "tuned selection rule file (JSON, required)")
+		queries   queryList
+		stats     = flag.Bool("stats", false, "print serving counters to stderr on exit")
+		watch     = flag.Duration("watch", 0, "poll the rule file at this interval and hot-reload on change (streaming mode only)")
+	)
+	flag.Var(&queries, "query", "one-shot query collective:nodes:ppn:msgbytes (repeatable)")
+	flag.Parse()
+
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "acclaim-serve: -rules is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv := ruleserver.New()
+	if err := srv.Load(*rulesPath); err != nil {
+		fatal(err)
+	}
+
+	if len(queries) > 0 {
+		for _, q := range queries {
+			parts := strings.Split(q, ":")
+			if len(parts) != 4 {
+				fatal(fmt.Errorf("bad -query %q: want collective:nodes:ppn:msgbytes", q))
+			}
+			alg, err := answer(srv, parts[0], parts[1], parts[2], parts[3])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(alg)
+		}
+	} else {
+		if *watch > 0 {
+			go watchFile(srv, *rulesPath, *watch)
+		}
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				fatal(fmt.Errorf("bad query %q: want <collective> <nodes> <ppn> <msgbytes>", line))
+			}
+			alg, err := answer(srv, f[0], f[1], f[2], f[3])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(alg)
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *stats {
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr,
+			"acclaim-serve: snapshot v%d, %d tables, %d rules, %d hits, %d misses, %d swaps, avg lookup %v\n",
+			st.Version, st.Tables, st.Rules, st.Hits, st.Misses, st.Swaps, st.AvgLatency)
+	}
+}
+
+// answer resolves one query against the current snapshot. Collectives
+// the rule file does not cover are reported as misses rather than
+// errors — that is a deployment-visible condition, not a usage bug.
+func answer(srv *ruleserver.Server, cs, ns, ps, ms string) (string, error) {
+	c, err := coll.ParseCollective(cs)
+	if err != nil {
+		return "", err
+	}
+	nodes, err := strconv.Atoi(ns)
+	if err != nil {
+		return "", fmt.Errorf("bad node count %q: %v", ns, err)
+	}
+	ppn, err := strconv.Atoi(ps)
+	if err != nil {
+		return "", fmt.Errorf("bad ppn %q: %v", ps, err)
+	}
+	msg, err := strconv.Atoi(ms)
+	if err != nil {
+		return "", fmt.Errorf("bad message size %q: %v", ms, err)
+	}
+	alg, ok := srv.Lookup(c, nodes, ppn, msg)
+	if !ok {
+		return "", fmt.Errorf("no rule for collective %v (file does not cover it)", c)
+	}
+	return alg, nil
+}
+
+// watchFile polls the rule file's mtime and hot-swaps the snapshot when
+// it changes. A file that momentarily fails to load (mid-rewrite, or
+// invalid) keeps the previous snapshot serving; the error is logged.
+func watchFile(srv *ruleserver.Server, path string, every time.Duration) {
+	var last time.Time
+	if fi, err := os.Stat(path); err == nil {
+		last = fi.ModTime()
+	}
+	for range time.Tick(every) {
+		fi, err := os.Stat(path)
+		if err != nil || !fi.ModTime().After(last) {
+			continue
+		}
+		last = fi.ModTime()
+		if err := srv.Load(path); err != nil {
+			fmt.Fprintf(os.Stderr, "acclaim-serve: reload failed, keeping v%d: %v\n",
+				srv.Stats().Version, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "acclaim-serve: hot-swapped to v%d\n", srv.Stats().Version)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "acclaim-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -12,9 +12,13 @@
 // By default only allocs/op is gated: allocation counts are
 // deterministic properties of the code, so they hold the line on the
 // scratch-buffer/arena optimizations without the noise of shared CI
-// runners. Pass -time to additionally gate ns/op (useful on quiet,
+// runners. A baseline of exactly 0 allocs/op (or 0 B/op) is a hard
+// gate: any allocation on a zero-alloc path fails regardless of
+// tolerance. Pass -time to additionally gate ns/op (useful on quiet,
 // dedicated hardware). The tolerance is relative (-tolerance 0.25
-// fails anything >25% above baseline).
+// fails anything >25% above baseline). Repeatable -floor name=value
+// flags put a lower bound on custom metrics (e.g. -floor speedup=4
+// fails any benchmark whose reported speedup drops below 4).
 package main
 
 import (
@@ -42,12 +46,39 @@ type Snapshot struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
+// floorFlags collects repeatable -floor name=value arguments.
+type floorFlags map[string]float64
+
+func (f floorFlags) String() string {
+	parts := make([]string, 0, len(f))
+	for name, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floorFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("bad -floor %q: want name=value", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad -floor %q: %v", s, err)
+	}
+	f[name] = v
+	return nil
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to compare against")
 	out := flag.String("out", "", "write the parsed snapshot JSON here")
 	update := flag.String("update", "", "write the snapshot as a new baseline to this path and exit")
 	tolerance := flag.Float64("tolerance", 0.25, "relative regression tolerance")
 	gateTime := flag.Bool("time", false, "also gate ns/op (timing is noisy on shared runners)")
+	floors := floorFlags{}
+	flag.Var(floors, "floor", "metric lower bound as name=value, repeatable (e.g. -floor speedup=4)")
 	flag.Parse()
 
 	snap, err := parse(os.Stdin)
@@ -77,7 +108,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures := compare(base, snap, *tolerance, *gateTime)
+	failures := compare(base, snap, *tolerance, *gateTime, floors)
 	for _, f := range failures {
 		fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 	}
@@ -148,8 +179,11 @@ func normalize(name string) string {
 
 // compare returns a message per regression beyond the tolerance.
 // Benchmarks absent from either side are skipped (adds and removals
-// are changes to review, not regressions).
-func compare(base, cur *Snapshot, tol float64, gateTime bool) []string {
+// are changes to review, not regressions). Allocation metrics with a
+// zero baseline are gated exactly: a zero-alloc path that starts
+// allocating fails no matter the tolerance. Metric floors apply to
+// every current benchmark that reports the named metric.
+func compare(base, cur *Snapshot, tol float64, gateTime bool, floors map[string]float64) []string {
 	var fails []string
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -157,14 +191,24 @@ func compare(base, cur *Snapshot, tol float64, gateTime bool) []string {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		c := cur.Benchmarks[name]
+		for metric, floor := range floors {
+			if v, ok := c.Metrics[metric]; ok && v < floor {
+				fails = append(fails, fmt.Sprintf("%s %s: %.3f below floor %.3f",
+					name, metric, v, floor))
+			}
+		}
 		b, ok := base.Benchmarks[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchguard: %s not in baseline (new benchmark, skipping)\n", name)
 			continue
 		}
-		c := cur.Benchmarks[name]
-		check := func(metric string, baseV, curV float64) {
+		check := func(metric string, baseV, curV float64, zeroGated bool) {
 			if baseV <= 0 {
+				if zeroGated && curV > 0 {
+					fails = append(fails, fmt.Sprintf("%s %s: 0 -> %.0f (zero-alloc path regressed)",
+						name, metric, curV))
+				}
 				return
 			}
 			if curV > baseV*(1+tol) {
@@ -172,10 +216,10 @@ func compare(base, cur *Snapshot, tol float64, gateTime bool) []string {
 					name, metric, baseV, curV, 100*(curV/baseV-1), tol*100))
 			}
 		}
-		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp)
-		check("B/op", b.BytesPerOp, c.BytesPerOp)
+		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp, true)
+		check("B/op", b.BytesPerOp, c.BytesPerOp, true)
 		if gateTime {
-			check("ns/op", b.NsPerOp, c.NsPerOp)
+			check("ns/op", b.NsPerOp, c.NsPerOp, false)
 		}
 	}
 	return fails

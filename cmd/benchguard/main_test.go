@@ -39,25 +39,93 @@ func TestParse(t *testing.T) {
 
 func TestCompare(t *testing.T) {
 	base := &Snapshot{Benchmarks: map[string]Result{
-		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 1000},
-		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 1000},
 		"BenchmarkGone": {AllocsPerOp: 5},
 	}}
 	cur := &Snapshot{Benchmarks: map[string]Result{
-		"BenchmarkA": {NsPerOp: 500, AllocsPerOp: 1100}, // allocs within 25%, time 5x
-		"BenchmarkB": {NsPerOp: 90, AllocsPerOp: 1500},  // allocs regressed 50%
+		"BenchmarkA":   {NsPerOp: 500, AllocsPerOp: 1100}, // allocs within 25%, time 5x
+		"BenchmarkB":   {NsPerOp: 90, AllocsPerOp: 1500},  // allocs regressed 50%
 		"BenchmarkNew": {AllocsPerOp: 9},
 	}}
-	fails := compare(base, cur, 0.25, false)
+	fails := compare(base, cur, 0.25, false, nil)
 	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkB") {
 		t.Errorf("alloc-only gate failures = %v, want just BenchmarkB", fails)
 	}
-	fails = compare(base, cur, 0.25, true)
+	fails = compare(base, cur, 0.25, true, nil)
 	if len(fails) != 2 {
 		t.Errorf("time-gated failures = %v, want BenchmarkA and BenchmarkB", fails)
 	}
-	if fails := compare(base, base, 0.25, true); len(fails) != 0 {
+	if fails := compare(base, base, 0.25, true, nil); len(fails) != 0 {
 		t.Errorf("identical snapshots should pass, got %v", fails)
+	}
+}
+
+// TestCompareZeroAllocGate proves a zero-alloc baseline is a hard gate:
+// one allocation on a path the baseline records as alloc-free fails
+// regardless of the relative tolerance.
+func TestCompareZeroAllocGate(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkHotPath": {NsPerOp: 7}, // 0 allocs/op, 0 B/op (omitted in baseline JSON)
+	}}
+	still := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkHotPath": {NsPerOp: 9},
+	}}
+	if fails := compare(base, still, 0.25, false, nil); len(fails) != 0 {
+		t.Errorf("still-zero-alloc run should pass, got %v", fails)
+	}
+	leaky := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkHotPath": {NsPerOp: 9, AllocsPerOp: 1, BytesPerOp: 16},
+	}}
+	fails := compare(base, leaky, 0.25, false, nil)
+	if len(fails) != 2 || !strings.Contains(fails[0], "zero-alloc") {
+		t.Errorf("allocating on a zero-alloc path should fail both units, got %v", fails)
+	}
+}
+
+// TestCompareMetricFloor proves -floor gates custom metrics from below,
+// including on benchmarks missing from the baseline.
+func TestCompareMetricFloor(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkSpeedup": {NsPerOp: 100, Metrics: map[string]float64{"speedup": 5.5}},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkSpeedup": {NsPerOp: 100, Metrics: map[string]float64{"speedup": 5.2}},
+		"BenchmarkNew":     {NsPerOp: 100, Metrics: map[string]float64{"speedup": 1.5}},
+		"BenchmarkOther":   {NsPerOp: 100, Metrics: map[string]float64{"procs": 8}},
+	}}
+	if fails := compare(base, cur, 0.25, false, nil); len(fails) != 0 {
+		t.Errorf("no floors set, expected no failures, got %v", fails)
+	}
+	fails := compare(base, cur, 0.25, false, map[string]float64{"speedup": 4})
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkNew") {
+		t.Errorf("floor 4 should fail only BenchmarkNew, got %v", fails)
+	}
+	fails = compare(base, cur, 0.25, false, map[string]float64{"speedup": 5.4})
+	if len(fails) != 2 {
+		t.Errorf("floor 5.4 should fail both speedup benchmarks, got %v", fails)
+	}
+}
+
+func TestFloorFlags(t *testing.T) {
+	f := floorFlags{}
+	if err := f.Set("speedup=4.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("procs=2"); err != nil {
+		t.Fatal(err)
+	}
+	if f["speedup"] != 4.5 || f["procs"] != 2 {
+		t.Errorf("parsed floors = %v", f)
+	}
+	if got, want := f.String(), "procs=2,speedup=4.5"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if err := f.Set("nofloat=x"); err == nil {
+		t.Error("expected error for non-numeric floor")
+	}
+	if err := f.Set("novalue"); err == nil {
+		t.Error("expected error for missing =")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"acclaim/internal/forest"
 	"acclaim/internal/netmodel"
 	"acclaim/internal/rules"
+	"acclaim/internal/ruleserver"
 )
 
 func main() {
@@ -69,13 +70,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 6. The file answers selection queries the way the MPI library
-	// would at collective-call time.
-	tab := file.Tables["bcast"]
-	alg, err := tab.Select(16, 4, 100000)
+	// 6. Compile the file into the serving engine — the lock-free,
+	// zero-allocation lookup path a deployed MPI library would hit at
+	// every collective call (also available standalone as
+	// cmd/acclaim-serve).
+	srv, err := ruleserver.NewFromFile(file)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nrule-file selection for 100000-byte bcast: %s\n", alg)
+	alg, ok := srv.Lookup(coll.Bcast, 16, 4, 100000)
+	if !ok {
+		log.Fatal("no rule for bcast")
+	}
+	fmt.Printf("\nserved selection for 100000-byte bcast: %s\n", alg)
+	st := srv.Stats()
+	fmt.Printf("serving snapshot v%d: %d tables, %d rules\n", st.Version, st.Tables, st.Rules)
 	_ = rules.Unbounded
 }

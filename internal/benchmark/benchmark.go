@@ -21,6 +21,7 @@ import (
 	"acclaim/internal/cluster"
 	"acclaim/internal/coll"
 	"acclaim/internal/featspace"
+	"acclaim/internal/heuristic"
 	"acclaim/internal/netmodel"
 	"acclaim/internal/sched"
 	"acclaim/internal/simmpi"
@@ -191,6 +192,25 @@ func (r *Runner) Run(spec Spec) (Measurement, error) {
 		return Measurement{}, err
 	}
 	return r.measure(spec, base), nil
+}
+
+// RunSelected prices one collective call the way a tuned MPI library
+// would: the algorithm comes from the selection source (a
+// ruleserver.Server over the tuned rule file) when it has a rule for
+// the call, and from the library's built-in size-cutoff heuristic when
+// it does not (an untuned collective, or no source at all — exactly
+// MPICH's behaviour when no tuning file is loaded). It returns the
+// measurement and the algorithm that was used.
+func (r *Runner) RunSelected(c coll.Collective, src coll.AlgSource, p featspace.Point) (Measurement, string, error) {
+	alg, ok := "", false
+	if src != nil {
+		alg, ok = src.Lookup(c, p.Nodes, p.PPN, p.MsgBytes)
+	}
+	if !ok {
+		alg = heuristic.Select(c, p)
+	}
+	m, err := r.Run(Spec{Coll: c, Alg: alg, Point: p})
+	return m, alg, err
 }
 
 // RunSequential executes the specs one after another, returning the

@@ -57,6 +57,11 @@ func ParseCollective(s string) (Collective, error) {
 	return 0, fmt.Errorf("coll: unknown collective %q", s)
 }
 
+// NumCollectives is the number of collectives; valid Collective values
+// are 0..NumCollectives-1, so dense per-collective arrays can be
+// indexed by the enum (the rule-serving hot path does).
+const NumCollectives = int(numCollectives)
+
 // Collectives returns all four collectives in stable order.
 func Collectives() []Collective {
 	return []Collective{Allgather, Allreduce, Bcast, Reduce}
@@ -144,6 +149,35 @@ func Exec(model *netmodel.Model, c Collective, alg string, msgBytes int, opts Op
 	default:
 		return simmpi.Result{}, fmt.Errorf("coll: unknown collective %v", c)
 	}
+}
+
+// AlgSource answers "which algorithm should this collective call use"
+// at collective-call time. It is the seam between the execution layer
+// and a tuned selection source: *ruleserver.Server implements it over a
+// lock-free rule-file snapshot, and tests implement it with fixtures.
+// A false return means the source has no rule for the query.
+type AlgSource interface {
+	Lookup(c Collective, nodes, ppn, msg int) (string, bool)
+}
+
+// ExecSelected runs a collective the way a tuned MPI library would: it
+// consults the source at call time with the job's shape (the model's
+// node count and ppn) and the message size, then executes the selected
+// algorithm. It returns the chosen algorithm alongside the result. An
+// error is returned if the source has no rule for the call — a
+// complete, validated rule file cannot decline, so a miss means the
+// caller wired an untuned collective.
+func ExecSelected(model *netmodel.Model, c Collective, src AlgSource, msgBytes int, opts Options) (simmpi.Result, string, error) {
+	if src == nil {
+		return simmpi.Result{}, "", errors.New("coll: nil algorithm source")
+	}
+	alg, ok := src.Lookup(c, model.Alloc.Size(), model.PPN, msgBytes)
+	if !ok {
+		return simmpi.Result{}, "", fmt.Errorf("coll: no selection rule for %v at nodes=%d ppn=%d msg=%d",
+			c, model.Alloc.Size(), model.PPN, msgBytes)
+	}
+	res, err := Exec(model, c, alg, msgBytes, opts)
+	return res, alg, err
 }
 
 // newBuf allocates a buffer, with backing bytes only in data mode.

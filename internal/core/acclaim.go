@@ -35,6 +35,7 @@ import (
 	"acclaim/internal/featspace"
 	"acclaim/internal/forest"
 	"acclaim/internal/rules"
+	"acclaim/internal/ruleserver"
 	"acclaim/internal/stats"
 )
 
@@ -400,6 +401,26 @@ func (t *Tuner) BuildRulesFile(results map[coll.Collective]*Result, machine stri
 		return nil, err
 	}
 	return f, nil
+}
+
+// Serve lowers trained results into a rule file and installs it in a
+// ruleserver.Server, ready to answer collective-call-time selection
+// queries lock-free. This is the full paper pipeline in one call:
+// training output (Section IV) -> MPICH-style rule file (Section V) ->
+// serving snapshot. The rule file is returned alongside the server so
+// callers can also persist it; a later retuning round can hot-swap the
+// same server via Server.Swap or Server.Load without interrupting
+// in-flight lookups.
+func (t *Tuner) Serve(results map[coll.Collective]*Result, machine string) (*ruleserver.Server, *rules.File, error) {
+	f, err := t.BuildRulesFile(results, machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := ruleserver.NewFromFile(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, f, nil
 }
 
 // LearningCurve trains unified models on prefixes of a completed run's

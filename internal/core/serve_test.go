@@ -1,0 +1,115 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+)
+
+// TestServeEndToEnd is the full-pipeline determinism test: a seeded
+// ACCLAiM run over every collective, lowered to a rule file, compiled
+// into the serving engine — and then every point of the tuner's feature
+// space (plus off-grid and non-P2 probes) must resolve through the
+// server to an algorithm the collective actually has, byte-identical to
+// what the nested rule-file walk selects.
+func TestServeEndToEnd(t *testing.T) {
+	tuner := New(testConfig(), liveBackend(t))
+	results, err := tuner.TuneAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, file, err := tuner.Serve(results, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().Tables; got != len(file.Tables) {
+		t.Fatalf("server holds %d tables, file has %d", got, len(file.Tables))
+	}
+
+	// Every grid point, every off-grid neighbour, every collective.
+	probes := testSpace().Points()
+	for _, p := range testSpace().Points() {
+		probes = append(probes,
+			featspace.Point{Nodes: p.Nodes + 1, PPN: p.PPN, MsgBytes: p.MsgBytes + 3},
+			featspace.Point{Nodes: p.Nodes, PPN: p.PPN + 1, MsgBytes: p.MsgBytes - 1},
+		)
+	}
+	probes = append(probes, featspace.Point{Nodes: 4096, PPN: 128, MsgBytes: 1 << 30})
+	for _, c := range coll.Collectives() {
+		tab := file.Tables[c.String()]
+		for _, p := range probes {
+			alg, ok := srv.Lookup(c, p.Nodes, p.PPN, p.MsgBytes)
+			if !ok {
+				t.Fatalf("%v: server missed at %v", c, p)
+			}
+			if _, known := coll.AlgIndex(c, alg); !known {
+				t.Fatalf("%v: server selected unknown algorithm %q at %v", c, alg, p)
+			}
+			want, err := tab.Select(p.Nodes, p.PPN, p.MsgBytes)
+			if err != nil {
+				t.Fatalf("%v: rule file incomplete at %v: %v", c, p, err)
+			}
+			if alg != want {
+				t.Fatalf("%v at %v: server = %q, rule file = %q", c, p, alg, want)
+			}
+		}
+	}
+
+	// The emitted file survives a disk round trip into a fresh server
+	// (the cmd/acclaim-serve path) and a hot reload on the live one.
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	if err := file.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Load(path); err != nil {
+		t.Fatalf("hot reload of emitted file: %v", err)
+	}
+	if st := srv.Stats(); st.Version != 2 || st.Swaps != 2 {
+		t.Errorf("reload did not publish a new snapshot: %+v", st)
+	}
+	alg, ok := srv.Lookup(coll.Bcast, 8, 2, 4096)
+	if !ok {
+		t.Fatal("lookup missed after reload")
+	}
+	if _, known := coll.AlgIndex(coll.Bcast, alg); !known {
+		t.Fatalf("unknown algorithm %q after reload", alg)
+	}
+}
+
+// TestServeDeterministic pins the whole pipeline's determinism: two
+// identically seeded runs must serve identical selections everywhere.
+func TestServeDeterministic(t *testing.T) {
+	build := func() *map[coll.Collective]map[featspace.Point]string {
+		tuner := New(testConfig(), liveBackend(t))
+		results, err := tuner.TuneAll(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, _, err := tuner.Serve(results, "sim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[coll.Collective]map[featspace.Point]string)
+		for _, c := range coll.Collectives() {
+			out[c] = make(map[featspace.Point]string)
+			for _, p := range testSpace().Points() {
+				alg, ok := srv.Lookup(c, p.Nodes, p.PPN, p.MsgBytes)
+				if !ok {
+					t.Fatalf("%v: miss at %v", c, p)
+				}
+				out[c][p] = alg
+			}
+		}
+		return &out
+	}
+	a, b := build(), build()
+	for c, pts := range *a {
+		for p, alg := range pts {
+			if other := (*b)[c][p]; other != alg {
+				t.Fatalf("%v at %v: run 1 = %q, run 2 = %q", c, p, alg, other)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package ruleserver_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/rules"
+	"acclaim/internal/ruleserver"
+)
+
+// benchTable builds a production-shaped rule table: node, ppn, and
+// message thresholds on (and around) the power-of-two crossovers a
+// paper-scale ACCLAiM run emits, including the off-P2 midpoint
+// thresholds the Figure 9 logic inserts.
+func benchTable(rng *rand.Rand, collective string) *rules.Table {
+	levels := func(n int, scale int64) []int64 {
+		out := make([]int64, 0, n)
+		v := scale
+		for len(out) < n-1 {
+			v *= 2
+			if rng.Intn(3) == 0 {
+				out = append(out, v+v/2) // off-P2 midpoint threshold
+			} else {
+				out = append(out, v)
+			}
+		}
+		return append(out, rules.Unbounded)
+	}
+	t := &rules.Table{Collective: collective}
+	for _, maxNodes := range levels(10, 1) {
+		nb := rules.NodeBucket{MaxNodes: maxNodes}
+		for _, maxPPN := range levels(8, 1) {
+			pb := rules.PPNBucket{MaxPPN: maxPPN}
+			for _, maxMsg := range levels(16, 8) {
+				pb.Rules = append(pb.Rules, rules.MsgRule{
+					MaxMsg: maxMsg,
+					Alg:    genAlgs[rng.Intn(len(genAlgs))],
+				})
+			}
+			nb.PPNs = append(nb.PPNs, pb)
+		}
+		t.Buckets = append(t.Buckets, nb)
+	}
+	return t
+}
+
+// benchFile is a four-collective rule file at that scale.
+func benchFile() *rules.File {
+	rng := rand.New(rand.NewSource(1234))
+	f := rules.NewFile("bench")
+	for _, c := range coll.Collectives() {
+		f.Tables[c.String()] = benchTable(rng, c.String())
+	}
+	return f
+}
+
+// benchQueries is a fixed query workload with log-uniform coordinates
+// (collective-call traffic is log-distributed in message size and job
+// shape), mixing P2 and non-P2 values. Parallel arrays keep the
+// harness's own per-query load cost minimal and identical for both
+// sides of the comparison.
+type queryWorkload struct {
+	nodes, ppn, msg []int
+}
+
+func benchQueries(n int) queryWorkload {
+	rng := rand.New(rand.NewSource(5678))
+	logU := func(maxExp int) int {
+		v := 1 << uint(rng.Intn(maxExp))
+		return v + rng.Intn(v) // [2^e, 2^(e+1))
+	}
+	w := queryWorkload{
+		nodes: make([]int, n),
+		ppn:   make([]int, n),
+		msg:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		w.nodes[i] = logU(10)
+		w.ppn[i] = logU(7)
+		w.msg[i] = logU(21)
+	}
+	return w
+}
+
+// BenchmarkRuleServerSelect measures the flattened index on the serving
+// hot path, with the snapshot pinned once via Server.Index — the
+// pattern bulk consumers (trace replay, a rank's inner loop between
+// reload checks) use. Gated at 0 allocs/op by benchguard and by
+// TestLookupZeroAlloc; the acceptance criterion compares it against
+// BenchmarkTableSelectNested (>= 5x).
+func BenchmarkRuleServerSelect(b *testing.B) {
+	srv, err := ruleserver.NewFromFile(benchFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := srv.Index()
+	qs := benchQueries(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i & 1023
+		if _, ok := ix.Lookup(coll.Bcast, qs.nodes[q], qs.ppn[q], qs.msg[q]); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkRuleServerLookupCounted measures the fully counted per-call
+// path (atomic snapshot load + hit/miss accounting + sampled latency):
+// what coll.ExecSelected pays per collective call.
+func BenchmarkRuleServerLookupCounted(b *testing.B) {
+	srv, err := ruleserver.NewFromFile(benchFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := benchQueries(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i & 1023
+		if _, ok := srv.Lookup(coll.Bcast, qs.nodes[q], qs.ppn[q], qs.msg[q]); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkTableSelectNested is the status-quo serving path this
+// package replaces, exactly as cmd/acclaim's replay loop did it before:
+// stringify the collective, resolve its table out of the rule file's
+// map, then run the nested decision-list walk of rules.Table.Select.
+// Same file, same workload as BenchmarkRuleServerSelect.
+func BenchmarkTableSelectNested(b *testing.B) {
+	f := benchFile()
+	qs := benchQueries(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i & 1023
+		tab, ok := f.Tables[coll.Bcast.String()]
+		if !ok {
+			b.Fatal("no table")
+		}
+		if _, err := tab.Select(qs.nodes[q], qs.ppn[q], qs.msg[q]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleServerSpeedup reports the flattened-index speedup over
+// the nested walk as a custom metric, so the benchguard artifact
+// records the ratio the acceptance criterion gates (>= 5x). Each side
+// runs the same fixed-size inner loop and the ratio is taken over each
+// side's best time across outer iterations — best-of is the standard
+// way to strip scheduler and frequency noise from an interleaved A/B
+// measurement; a fixed inner count keeps it stable even at
+// -benchtime=1x.
+func BenchmarkRuleServerSpeedup(b *testing.B) {
+	f := benchFile()
+	srv, err := ruleserver.NewFromFile(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := srv.Index()
+	qs := benchQueries(1024)
+	const inner = 500_000
+	bestNested := time.Duration(1<<63 - 1)
+	bestFlat := bestNested
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		for j := 0; j < inner; j++ {
+			q := j & 1023
+			tab := f.Tables[coll.Bcast.String()]
+			if _, err := tab.Select(qs.nodes[q], qs.ppn[q], qs.msg[q]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if nested := time.Since(t0); nested < bestNested {
+			bestNested = nested
+		}
+		t0 = time.Now()
+		for j := 0; j < inner; j++ {
+			q := j & 1023
+			if _, ok := ix.Lookup(coll.Bcast, qs.nodes[q], qs.ppn[q], qs.msg[q]); !ok {
+				b.Fatal("lookup missed")
+			}
+		}
+		if flat := time.Since(t0); flat < bestFlat {
+			bestFlat = flat
+		}
+	}
+	b.ReportMetric(float64(bestNested)/float64(bestFlat), "speedup")
+}

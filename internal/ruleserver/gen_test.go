@@ -1,0 +1,78 @@
+package ruleserver_test
+
+import (
+	"math/rand"
+
+	"acclaim/internal/rules"
+)
+
+// genAlgs is the name pool for generated tables; real MPICH algorithm
+// names plus short ones so interning sees both.
+var genAlgs = []string{
+	"binomial", "ring", "brucks", "recursive_doubling",
+	"scatter_ring_allgather", "reduce_scatter_allgather", "a", "b",
+}
+
+// ascending returns n strictly ascending positive thresholds with a
+// final Unbounded catch-all, drawn on a rough power-of-two scale so
+// generated tables look like real rule files.
+func ascending(rng *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	v := int64(0)
+	for i := 0; i < n-1; i++ {
+		v += 1 + rng.Int63n(1<<uint(2+rng.Intn(12)))
+		out[i] = v
+	}
+	out[n-1] = rules.Unbounded
+	return out
+}
+
+// genTable builds a random valid (complete, ascending) rule table: the
+// differential-fuzz input domain. Validity is by construction, matching
+// what rules.Validate enforces.
+func genTable(rng *rand.Rand, collective string) *rules.Table {
+	t := &rules.Table{Collective: collective}
+	for _, maxNodes := range ascending(rng, 1+rng.Intn(5)) {
+		nb := rules.NodeBucket{MaxNodes: maxNodes}
+		for _, maxPPN := range ascending(rng, 1+rng.Intn(4)) {
+			pb := rules.PPNBucket{MaxPPN: maxPPN}
+			for _, maxMsg := range ascending(rng, 1+rng.Intn(8)) {
+				pb.Rules = append(pb.Rules, rules.MsgRule{
+					MaxMsg: maxMsg,
+					Alg:    genAlgs[rng.Intn(len(genAlgs))],
+				})
+			}
+			nb.PPNs = append(nb.PPNs, pb)
+		}
+		t.Buckets = append(t.Buckets, nb)
+	}
+	return t
+}
+
+// genFile wraps generated tables for the given collective names.
+func genFile(rng *rand.Rand, collectives ...string) *rules.File {
+	f := rules.NewFile("gen")
+	for _, c := range collectives {
+		f.Tables[c] = genTable(rng, c)
+	}
+	return f
+}
+
+// thresholdProbes returns every threshold in the table along with its
+// neighbours — the values where the flattened index and the nested walk
+// are most likely to disagree off-by-one.
+func thresholdProbes(t *rules.Table) (nodes, ppns, msgs []int64) {
+	add := func(dst *[]int64, v int64) {
+		*dst = append(*dst, v-1, v, v+1)
+	}
+	for _, nb := range t.Buckets {
+		add(&nodes, nb.MaxNodes)
+		for _, pb := range nb.PPNs {
+			add(&ppns, pb.MaxPPN)
+			for _, r := range pb.Rules {
+				add(&msgs, r.MaxMsg)
+			}
+		}
+	}
+	return
+}

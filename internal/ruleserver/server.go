@@ -1,0 +1,166 @@
+package ruleserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/rules"
+)
+
+// latencySampleMask samples one lookup latency per 256 lookups: dense
+// enough to track the hot path, sparse enough that time.Now never shows
+// up in a profile.
+const latencySampleMask = 255
+
+// snapshot is one published generation of the index plus its
+// observability counters. Counters live on the snapshot, not the
+// server, so a hot-swap starts a fresh ledger and the stats of the
+// generation that served a query are the stats that count it.
+type snapshot struct {
+	idx      *Index
+	version  uint64
+	loadedAt time.Time
+
+	lookups    atomic.Uint64 // total lookups served by this snapshot
+	misses     atomic.Uint64 // lookups with no matching table/rule
+	latNanos   atomic.Uint64 // summed sampled lookup latency
+	latSamples atomic.Uint64
+}
+
+// Server serves algorithm selections for collective calls. Readers are
+// lock-free: a lookup is one atomic pointer load, one atomic counter
+// add, and binary searches over the immutable snapshot, so any number
+// of ranks can query concurrently while a writer installs a retuned
+// rule file. The zero value is not usable; call New or NewFromFile.
+type Server struct {
+	cur atomic.Pointer[snapshot]
+
+	// swapMu serialises writers only. Readers never touch it.
+	swapMu  sync.Mutex
+	nextVer uint64
+	swaps   atomic.Uint64
+}
+
+// New returns a server with no rules loaded; every lookup misses until
+// the first Swap.
+func New() *Server {
+	s := &Server{}
+	s.cur.Store(&snapshot{idx: &Index{}, loadedAt: time.Now()})
+	return s
+}
+
+// NewFromFile compiles and installs a rule file.
+func NewFromFile(f *rules.File) (*Server, error) {
+	s := New()
+	if err := s.Swap(f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Load reads, validates, compiles, and installs a rule file from disk —
+// the reload entry point after an ACCLAiM retuning round rewrites the
+// file. On any error the currently installed snapshot keeps serving.
+func (s *Server) Load(path string) error {
+	f, err := rules.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ruleserver: %w", err)
+	}
+	return s.Swap(f)
+}
+
+// Swap compiles the file and atomically publishes it. In-flight lookups
+// finish on the snapshot they loaded; new lookups see the new one. The
+// swap fails — leaving the old snapshot serving — if the file does not
+// validate.
+func (s *Server) Swap(f *rules.File) error {
+	idx, err := Compile(f)
+	if err != nil {
+		return err
+	}
+	s.swapMu.Lock()
+	s.nextVer++
+	sn := &snapshot{idx: idx, version: s.nextVer, loadedAt: time.Now()}
+	s.cur.Store(sn)
+	s.swapMu.Unlock()
+	s.swaps.Add(1)
+	return nil
+}
+
+// Lookup implements coll.AlgSource: the collective-call hot path.
+// It performs no allocation and takes no lock.
+func (s *Server) Lookup(c coll.Collective, nodes, ppn, msg int) (string, bool) {
+	sn := s.cur.Load()
+	if sn.lookups.Add(1)&latencySampleMask == 0 {
+		return sn.lookupTimed(c, nodes, ppn, msg)
+	}
+	alg, ok := sn.idx.Lookup(c, nodes, ppn, msg)
+	if !ok {
+		sn.misses.Add(1)
+	}
+	return alg, ok
+}
+
+// LookupName resolves by table name (for rule tables that are not named
+// after a known collective, or callers holding only strings).
+func (s *Server) LookupName(collective string, nodes, ppn, msg int) (string, bool) {
+	sn := s.cur.Load()
+	sn.lookups.Add(1)
+	alg, ok := sn.idx.LookupName(collective, nodes, ppn, msg)
+	if !ok {
+		sn.misses.Add(1)
+	}
+	return alg, ok
+}
+
+// lookupTimed is the sampled slow path: same lookup, bracketed by
+// monotonic clock reads.
+func (sn *snapshot) lookupTimed(c coll.Collective, nodes, ppn, msg int) (string, bool) {
+	t0 := time.Now()
+	alg, ok := sn.idx.Lookup(c, nodes, ppn, msg)
+	sn.latNanos.Add(uint64(time.Since(t0)))
+	sn.latSamples.Add(1)
+	if !ok {
+		sn.misses.Add(1)
+	}
+	return alg, ok
+}
+
+// Index returns the currently published index (for bulk operations that
+// want to pin one generation across many lookups).
+func (s *Server) Index() *Index { return s.cur.Load().idx }
+
+// Stats is a point-in-time view of the serving snapshot.
+type Stats struct {
+	Version    uint64        // snapshot generation (1 = first Swap)
+	LoadedAt   time.Time     // when this generation was published
+	Tables     int           // rule tables in the snapshot
+	Rules      int           // total message-level rules
+	Hits       uint64        // lookups answered by a rule
+	Misses     uint64        // lookups with no matching table/rule
+	Swaps      uint64        // total successful swaps on the server
+	AvgLatency time.Duration // mean sampled lookup latency (0 if unsampled)
+}
+
+// Stats reads the current snapshot's counters.
+func (s *Server) Stats() Stats {
+	sn := s.cur.Load()
+	lookups := sn.lookups.Load()
+	misses := sn.misses.Load()
+	st := Stats{
+		Version:  sn.version,
+		LoadedAt: sn.loadedAt,
+		Tables:   len(sn.idx.byName),
+		Rules:    sn.idx.rules,
+		Hits:     lookups - misses,
+		Misses:   misses,
+		Swaps:    s.swaps.Load(),
+	}
+	if n := sn.latSamples.Load(); n > 0 {
+		st.AvgLatency = time.Duration(sn.latNanos.Load() / n)
+	}
+	return st
+}
