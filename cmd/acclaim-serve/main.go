@@ -18,18 +18,30 @@
 // serving snapshot is hot-swapped whenever the file changes; in-flight
 // lookups are never blocked. -stats prints serving counters to stderr
 // on exit.
+//
+// With -debug-addr, an HTTP observability endpoint is served for the
+// life of the process (most useful with streaming mode): /metrics
+// answers Prometheus text by default and expvar-style JSON with
+// ?format=json (the per-epoch hit/miss/latency counters, read through
+// the lock-free snapshot pointer), /debug/vars is the standard expvar
+// page with the registry published under "acclaim", and /debug/pprof/
+// exposes the usual profiles.
 package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"acclaim/internal/coll"
+	"acclaim/internal/obs"
 	"acclaim/internal/ruleserver"
 )
 
@@ -44,6 +56,7 @@ func main() {
 		queries   queryList
 		stats     = flag.Bool("stats", false, "print serving counters to stderr on exit")
 		watch     = flag.Duration("watch", 0, "poll the rule file at this interval and hot-reload on change (streaming mode only)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text / expvar JSON), /debug/vars, and /debug/pprof on this address")
 	)
 	flag.Var(&queries, "query", "one-shot query collective:nodes:ppn:msgbytes (repeatable)")
 	flag.Parse()
@@ -56,6 +69,9 @@ func main() {
 	srv := ruleserver.New()
 	if err := srv.Load(*rulesPath); err != nil {
 		fatal(err)
+	}
+	if *debugAddr != "" {
+		go serveDebug(srv, *debugAddr)
 	}
 
 	if len(queries) > 0 {
@@ -128,6 +144,26 @@ func answer(srv *ruleserver.Server, cs, ns, ps, ms string) (string, error) {
 		return "", fmt.Errorf("no rule for collective %v (file does not cover it)", c)
 	}
 	return alg, nil
+}
+
+// serveDebug runs the observability endpoint: the server's counters on
+// a fresh registry (epoch-scoped, read lock-free through the snapshot
+// pointer), expvar, and pprof. It never returns; a failed listen is
+// fatal because the operator asked for the endpoint explicitly.
+func serveDebug(srv *ruleserver.Server, addr string) {
+	reg := obs.NewRegistry()
+	srv.Register(reg)
+	reg.Publish("acclaim")
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fatal(http.ListenAndServe(addr, mux))
 }
 
 // watchFile polls the rule file's mtime and hot-swaps the snapshot when

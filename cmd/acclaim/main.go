@@ -9,7 +9,14 @@
 // Usage:
 //
 //	acclaim -nodes 32 -ppn 4 [-app LAMMPS | -collectives bcast,allreduce]
-//	        [-out tuned.json] [-seed N] [-maxmsg bytes]
+//	        [-out tuned.json] [-seed N] [-maxmsg bytes] [-run-report report.json]
+//
+// The whole pipeline is instrumented through internal/obs: every
+// tuning round emits fit/score/pick/collect spans, and the forest,
+// scheduler, collection, and allocation layers report into one metrics
+// registry. A per-phase summary table is printed when tuning ends;
+// -run-report additionally dumps the span timeline, the per-collective
+// convergence-variance series, and the final metric snapshot as JSON.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"acclaim/internal/forest"
 	"acclaim/internal/heuristic"
 	"acclaim/internal/netmodel"
+	"acclaim/internal/obs"
 	"acclaim/internal/rules"
 	"acclaim/internal/ruleserver"
 	"acclaim/internal/traces"
@@ -37,13 +45,14 @@ import (
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 32, "job node count")
-		ppn      = flag.Int("ppn", 4, "processes per node")
-		app      = flag.String("app", "", "application name (derives the collective list from its trace)")
-		collList = flag.String("collectives", "", "comma-separated collective list (overrides -app)")
-		out      = flag.String("out", "tuned.json", "output selection file")
-		seed     = flag.Int64("seed", 1, "job seed (allocation + environment)")
-		maxMsg   = flag.Int("maxmsg", 1<<20, "maximum tuned message size in bytes")
+		nodes     = flag.Int("nodes", 32, "job node count")
+		ppn       = flag.Int("ppn", 4, "processes per node")
+		app       = flag.String("app", "", "application name (derives the collective list from its trace)")
+		collList  = flag.String("collectives", "", "comma-separated collective list (overrides -app)")
+		out       = flag.String("out", "tuned.json", "output selection file")
+		seed      = flag.Int64("seed", 1, "job seed (allocation + environment)")
+		maxMsg    = flag.Int("maxmsg", 1<<20, "maximum tuned message size in bytes")
+		runReport = flag.String("run-report", "", "write the tuning run's span timeline, convergence series, and metric snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -52,11 +61,16 @@ func main() {
 		fatal(err)
 	}
 
+	// --- Observability: one registry for every pipeline stage, one
+	// trace for the tuning timeline.
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace()
+
 	// --- Job submission: the scheduler hands us a best-effort
 	// allocation; the job's dynamic environment is sampled from it.
 	machine := cluster.Theta()
 	rng := rand.New(rand.NewSource(*seed))
-	alloc, err := cluster.BestEffort(machine, rng, *nodes)
+	alloc, err := cluster.BestEffortObs(machine, rng, *nodes, cluster.NewMetrics(reg))
 	if err != nil {
 		fatal(err)
 	}
@@ -68,19 +82,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	runner.Metrics = benchmark.NewMetrics(reg)
 
 	// --- Training: ACCLAiM with parallel wave collection.
 	tuner := core.New(core.Config{
 		Space:     featspace.P2Grid(*nodes, *ppn, 8, *maxMsg),
-		Forest:    forest.Config{NTrees: 60, Seed: *seed},
+		Forest:    forest.Config{NTrees: 60, Seed: *seed, Metrics: forest.NewMetrics(reg)},
 		Seed:      *seed,
 		Parallel:  true,
 		BatchSize: 4,
 		// Production selections feed a whole job: spend a little more
 		// collection time for a stabler model than the default
 		// stall criterion accepts.
-		Window:  6,
-		Epsilon: 0.03,
+		Window:   6,
+		Epsilon:  0.03,
+		Recorder: trace,
+		Registry: reg,
 	}, autotune.LiveBackend{Runner: runner})
 
 	wall := time.Now()
@@ -98,6 +115,20 @@ func main() {
 	}
 	fmt.Printf("total training: %.2f s machine time (%.1f s wall on this host)\n",
 		machineTime/1e6, time.Since(wall).Seconds())
+
+	// --- Observability report: per-phase breakdown table now, full
+	// JSON (spans + convergence series + metrics) on request.
+	report := core.BuildRunReport("theta-sim", results, trace, reg)
+	if err := report.WriteSummary(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *runReport != "" {
+		if err := report.WriteFile(*runReport); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run report %s (%d spans, %d metrics)\n",
+			*runReport, len(report.Spans), len(report.Metrics))
+	}
 
 	// --- Job-cell verification: the tool knows the job's exact
 	// (nodes, ppn), so it additionally benchmarks every algorithm at

@@ -17,15 +17,46 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"time"
 
 	"acclaim/internal/cluster"
 	"acclaim/internal/coll"
 	"acclaim/internal/featspace"
 	"acclaim/internal/heuristic"
 	"acclaim/internal/netmodel"
+	"acclaim/internal/obs"
 	"acclaim/internal/sched"
 	"acclaim/internal/simmpi"
 )
+
+// Metrics are the collection layer's registry handles: how much
+// simulated machine time benchmarks consumed vs how much host time the
+// simulator burned producing it, plus the measurement-noise draw count
+// (every warmup and timed iteration redraws the noise factor). Build
+// with NewMetrics; attach to Runner.Metrics (nil disables recording).
+type Metrics struct {
+	Runs       *obs.Counter // benchmark.runs_total: microbenchmarks executed
+	NoiseDraws *obs.Counter // benchmark.noise_draws_total: per-iteration noise redraws
+	SimUs      *obs.Gauge   // benchmark.sim_us: accumulated simulated machine time
+	HostNs     *obs.Gauge   // benchmark.host_ns: accumulated host time inside the simulator
+	WaveRuns   *obs.Counter // benchmark.wave_runs_total: benchmarks executed inside parallel waves
+
+	// Sched receives the wave-planning metrics of RunParallel.
+	Sched *sched.Metrics
+}
+
+// NewMetrics registers the collection metric set on reg (nil reg gives
+// all-nil, no-op handles).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Runs:       reg.Counter("benchmark.runs_total"),
+		NoiseDraws: reg.Counter("benchmark.noise_draws_total"),
+		SimUs:      reg.Gauge("benchmark.sim_us"),
+		HostNs:     reg.Gauge("benchmark.host_ns"),
+		WaveRuns:   reg.Counter("benchmark.wave_runs_total"),
+		Sched:      sched.NewMetrics(reg),
+	}
+}
 
 // Spec names one microbenchmark: a collective, an algorithm, and a
 // feature point.
@@ -77,6 +108,10 @@ type Runner struct {
 	// RackShareFactor inflates runs that illegally share a rack; used
 	// only when a wave violates the scheduler's constraints (ablations).
 	RackShareFactor float64
+
+	// Metrics, when non-nil, receives collection observability. All
+	// handles are concurrency-safe, so wave goroutines report directly.
+	Metrics *Metrics
 }
 
 // NewRunner builds a runner for a job's allocation and environment.
@@ -135,6 +170,10 @@ func (r *Runner) subAllocation(spec Spec, idx []int) (cluster.Allocation, error)
 // baseTime runs the simulator once for the spec and returns the
 // noise-free collective time.
 func (r *Runner) baseTime(spec Spec, idx []int) (float64, error) {
+	if m := r.Metrics; m != nil {
+		t0 := time.Now()
+		defer func() { m.HostNs.Add(float64(time.Since(t0))) }()
+	}
 	sub, err := r.subAllocation(spec, idx)
 	if err != nil {
 		return 0, err
@@ -180,6 +219,11 @@ func (r *Runner) measure(spec Spec, base float64) Measurement {
 		t := base * noise()
 		sum += t
 		wall += t
+	}
+	if m := r.Metrics; m != nil {
+		m.Runs.Inc()
+		m.NoiseDraws.Add(uint64(r.Config.Warmup + r.Config.Iters))
+		m.SimUs.Add(wall)
 	}
 	return Measurement{Spec: spec, MeanTime: sum / float64(r.Config.Iters), WallTime: wall}
 }
@@ -276,6 +320,9 @@ func (r *Runner) RunWave(wave []sched.Placement, specs map[int]Spec) ([]Measurem
 			waveTime = m.WallTime
 		}
 	}
+	if m := r.Metrics; m != nil {
+		m.WaveRuns.Add(uint64(len(wave)))
+	}
 	return out, waveTime, nil
 }
 
@@ -292,7 +339,11 @@ func (r *Runner) RunParallel(specs []Spec) ([]Measurement, float64, []int, error
 		reqs[i] = sched.Request{ID: i, Nodes: s.Point.Nodes, Priority: float64(len(specs) - i)}
 		byID[i] = s
 	}
-	waves, err := sched.PlanAll(r.Alloc, reqs)
+	var schedMet *sched.Metrics
+	if r.Metrics != nil {
+		schedMet = r.Metrics.Sched
+	}
+	waves, err := sched.PlanAllObs(r.Alloc, reqs, schedMet)
 	if err != nil {
 		return nil, 0, nil, err
 	}

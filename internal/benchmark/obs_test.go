@@ -1,0 +1,89 @@
+package benchmark
+
+import (
+	"testing"
+
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/obs"
+)
+
+func TestRunMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := testRunner(t, cluster.TopologyTwoPairs())
+	r.Metrics = NewMetrics(reg)
+
+	m, err := r.Run(spec(coll.Bcast, "binomial", 2, 2, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := r.Metrics
+	if got := met.Runs.Load(); got != 1 {
+		t.Errorf("runs_total = %d, want 1", got)
+	}
+	// Warmup (2) + timed iterations (5) each redraw noise.
+	if got := met.NoiseDraws.Load(); got != 7 {
+		t.Errorf("noise_draws_total = %d, want 7", got)
+	}
+	if got := met.SimUs.Load(); got != m.WallTime {
+		t.Errorf("sim_us = %v, want the run's wall time %v", got, m.WallTime)
+	}
+	if met.HostNs.Load() <= 0 {
+		t.Error("host_ns not accumulated")
+	}
+}
+
+func TestRunParallelMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := testRunner(t, cluster.TopologyTwoPairs())
+	r.Metrics = NewMetrics(reg)
+
+	specs := []Spec{
+		spec(coll.Bcast, "binomial", 2, 2, 1024),
+		spec(coll.Bcast, "binomial", 2, 2, 2048),
+		spec(coll.Bcast, "binomial", 2, 2, 4096),
+	}
+	ms, total, _, err := r.RunParallel(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(specs) {
+		t.Fatalf("measurements = %d, want %d", len(ms), len(specs))
+	}
+	met := r.Metrics
+	if got := met.Runs.Load(); got != uint64(len(specs)) {
+		t.Errorf("runs_total = %d, want %d", got, len(specs))
+	}
+	if got := met.WaveRuns.Load(); got != uint64(len(specs)) {
+		t.Errorf("wave_runs_total = %d, want %d", got, len(specs))
+	}
+	waves := met.Sched.Waves.Load()
+	if waves == 0 {
+		t.Error("sched waves_total not recorded through RunParallel")
+	}
+	// Accumulated simulated time counts every run; the returned total is
+	// wave maxima, so it can only be smaller.
+	if sim := met.SimUs.Load(); sim < total {
+		t.Errorf("sim_us = %v < wave-max total %v", sim, total)
+	}
+}
+
+// TestRunNilMetrics pins that an uninstrumented runner measures
+// identically: metrics must be observational only.
+func TestRunNilMetrics(t *testing.T) {
+	plain := testRunner(t, cluster.TopologyTwoPairs())
+	inst := testRunner(t, cluster.TopologyTwoPairs())
+	inst.Metrics = NewMetrics(obs.NewRegistry())
+	s := spec(coll.Bcast, "binomial", 2, 2, 4096)
+	m1, err := plain.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := inst.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("instrumented run differs: %+v vs %+v", m1, m2)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"acclaim/internal/obs"
 )
 
 // Machine describes a cluster's physical layout. Nodes are numbered
@@ -184,11 +186,48 @@ func Strided(m Machine, start, n, stride int) (Allocation, error) {
 	return Allocation{Machine: m, Nodes: nodes}, nil
 }
 
+// Metrics are the allocator's registry handles: how many allocations
+// were drawn and how fragmented they came back — rack and pair span
+// are the topology properties behind the paper's >2x job-to-job
+// latency variation. Build with NewMetrics; pass to BestEffortObs.
+type Metrics struct {
+	Allocations *obs.Counter   // cluster.allocations_total
+	RackSpan    *obs.Histogram // cluster.alloc_rack_span: racks touched per allocation
+	PairSpan    *obs.Histogram // cluster.alloc_pair_span: rack pairs touched per allocation
+}
+
+// NewMetrics registers the allocator metric set on reg (nil reg gives
+// all-nil, no-op handles).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	spanBuckets := []float64{1, 2, 4, 8, 16, 32, 64}
+	return &Metrics{
+		Allocations: reg.Counter("cluster.allocations_total"),
+		RackSpan:    reg.Histogram("cluster.alloc_rack_span", spanBuckets...),
+		PairSpan:    reg.Histogram("cluster.alloc_pair_span", spanBuckets...),
+	}
+}
+
 // BestEffort mimics a best-effort scheduler: it draws n distinct nodes
 // from the machine as a union of a few random contiguous fragments, so
 // allocations range from nearly compact to widely scattered across
 // pairs. The result is deterministic for a given rng state.
 func BestEffort(m Machine, rng *rand.Rand, n int) (Allocation, error) {
+	return BestEffortObs(m, rng, n, nil)
+}
+
+// BestEffortObs is BestEffort with observability: when met is non-nil
+// the allocation's fragmentation shape is recorded.
+func BestEffortObs(m Machine, rng *rand.Rand, n int, met *Metrics) (Allocation, error) {
+	a, err := bestEffort(m, rng, n)
+	if err == nil && met != nil {
+		met.Allocations.Inc()
+		met.RackSpan.Observe(float64(a.RackSpan()))
+		met.PairSpan.Observe(float64(a.PairSpan()))
+	}
+	return a, err
+}
+
+func bestEffort(m Machine, rng *rand.Rand, n int) (Allocation, error) {
 	if n <= 0 || n > m.Nodes {
 		return Allocation{}, fmt.Errorf("cluster: cannot allocate %d of %d nodes", n, m.Nodes)
 	}

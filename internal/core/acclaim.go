@@ -28,12 +28,14 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"acclaim/internal/autotune"
 	"acclaim/internal/benchmark"
 	"acclaim/internal/coll"
 	"acclaim/internal/featspace"
 	"acclaim/internal/forest"
+	"acclaim/internal/obs"
 	"acclaim/internal/rules"
 	"acclaim/internal/ruleserver"
 	"acclaim/internal/stats"
@@ -80,6 +82,18 @@ type Config struct {
 	// Evaluator, if set, scores the model each iteration (typically
 	// average slowdown against a replay dataset) for the trace figures.
 	Evaluator func(c coll.Collective, sel autotune.Selector) (float64, error)
+
+	// Recorder receives span events for the tuning timeline: a root
+	// span per tuned collective, one span per active-learning round,
+	// and child spans for the round's fit / score / pick / collect
+	// phases. Nil means obs.Nop, whose calls are free — the seam stays
+	// in place at zero cost (AllocsPerRun-gated).
+	Recorder obs.Recorder
+
+	// Registry, when non-nil, receives tuner metrics: round/sample
+	// counters, per-phase duration histograms, and a per-collective
+	// convergence-variance gauge updated every round.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -101,18 +115,47 @@ func (c Config) withDefaults() Config {
 	if c.BatchSize == 0 {
 		c.BatchSize = 4
 	}
+	if c.Recorder == nil {
+		c.Recorder = obs.Nop
+	}
 	return c
+}
+
+// tunerMetrics are the tuner's pre-resolved registry handles; all nil
+// (no-op) when no Registry is configured.
+type tunerMetrics struct {
+	rounds    *obs.Counter   // tuner.rounds_total: active-learning rounds
+	samples   *obs.Counter   // tuner.samples_total: training samples collected
+	collects  *obs.Counter   // tuner.collects_total: collection batches issued
+	fitNs     *obs.Histogram // tuner.fit_ns: forest retrain time per round
+	scoreNs   *obs.Histogram // tuner.score_ns: jackknife scoring sweep time per round
+	pickNs    *obs.Histogram // tuner.pick_ns: batch-pick time per round
+	collectNs *obs.Histogram // tuner.collect_ns: host time per collection batch
+}
+
+func newTunerMetrics(reg *obs.Registry) tunerMetrics {
+	return tunerMetrics{
+		rounds:    reg.Counter("tuner.rounds_total"),
+		samples:   reg.Counter("tuner.samples_total"),
+		collects:  reg.Counter("tuner.collects_total"),
+		fitNs:     reg.Histogram("tuner.fit_ns"),
+		scoreNs:   reg.Histogram("tuner.score_ns"),
+		pickNs:    reg.Histogram("tuner.pick_ns"),
+		collectNs: reg.Histogram("tuner.collect_ns"),
+	}
 }
 
 // Tuner is an ACCLAiM autotuner over a benchmark backend.
 type Tuner struct {
 	cfg     Config
 	backend autotune.Backend
+	met     tunerMetrics
 }
 
 // New builds a tuner.
 func New(cfg Config, backend autotune.Backend) *Tuner {
-	return &Tuner{cfg: cfg.withDefaults(), backend: backend}
+	cfg = cfg.withDefaults()
+	return &Tuner{cfg: cfg, backend: backend, met: newTunerMetrics(cfg.Registry)}
 }
 
 // Config returns the tuner's effective (default-filled) configuration.
@@ -157,7 +200,11 @@ func (r *Result) NonP2Share() float64 {
 	return float64(n) / float64(len(sel))
 }
 
-// Tune runs the ACCLAiM training loop for one collective.
+// Tune runs the ACCLAiM training loop for one collective. When a
+// Recorder/Registry is configured, every round emits a span tree
+// (fit, score, pick, collect) plus round-level attributes (cumulative
+// variance, sample count) — the raw material of the run report's
+// per-phase breakdown and Fig. 9-style convergence curves.
 func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 	cands := autotune.Candidates(c, t.cfg.Space, t.backend.MaxNodes())
 	if len(cands) == 0 {
@@ -168,15 +215,27 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 	ts := autotune.NewTrainingSet(c)
 	detector := &stats.StallDetector{Window: t.cfg.Window, MinImprove: t.cfg.Epsilon}
 
-	if err := t.collect(c, t.seedDesign(cands), ts, res); err != nil {
+	rec := t.cfg.Recorder
+	root := rec.StartSpan("tune:"+c.String(), obs.NoSpan)
+	defer rec.EndSpan(root)
+	cumVarGauge := t.cfg.Registry.Gauge("tuner." + c.String() + ".cum_variance")
+
+	if err := t.collectSpanned(c, t.seedDesign(cands), ts, res, rec, root, "seed_collect"); err != nil {
 		return nil, err
 	}
 	res.SeedSamples = len(res.Order)
 
 	selCount := 0
 	for iter := 0; iter < t.cfg.MaxIterations; iter++ {
+		round := rec.StartSpan("round", root)
+
+		fit := rec.StartSpan("fit", round)
+		t0 := time.Now()
 		model, err := autotune.TrainModel(t.cfg.Forest, ts)
+		t.met.fitNs.Observe(float64(time.Since(t0)))
+		rec.EndSpan(fit)
 		if err != nil {
+			rec.EndSpan(round)
 			return nil, err
 		}
 		res.Model = model
@@ -185,11 +244,15 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		// across the forest's worker pool; their sum is the cumulative
 		// variance used in place of a test-set metric. The sum runs in
 		// index order, so it is bit-identical at any worker count.
+		score := rec.StartSpan("score", round)
+		t0 = time.Now()
 		variances := model.VarianceBatch(cands)
 		var cum float64
 		for _, v := range variances {
 			cum += v
 		}
+		t.met.scoreNs.Observe(float64(time.Since(t0)))
+		rec.EndSpan(score)
 
 		tp := autotune.TracePoint{
 			Iter:           iter,
@@ -201,11 +264,18 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		if t.cfg.Evaluator != nil {
 			sd, err := t.cfg.Evaluator(c, model)
 			if err != nil {
+				rec.EndSpan(round)
 				return nil, err
 			}
 			tp.Slowdown = sd
 		}
 		res.Trace = append(res.Trace, tp)
+
+		rec.SetAttr(round, "round", float64(iter))
+		rec.SetAttr(round, "samples", float64(ts.Len()))
+		rec.SetAttr(round, "cum_variance", cum)
+		cumVarGauge.Set(cum)
+		t.met.rounds.Inc()
 
 		minSamples := t.cfg.MinSamples
 		if minSamples == 0 {
@@ -215,12 +285,18 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		// an early plateau cannot latch convergence.
 		if ts.Len() >= minSamples && detector.Observe(cum) {
 			res.Converged = true
+			rec.EndSpan(round)
 			break
 		}
 
 		// Pick the next batch: highest-variance uncollected candidates.
+		pick := rec.StartSpan("pick", round)
+		t0 = time.Now()
 		batch := t.pickBatch(cands, variances, ts)
+		t.met.pickNs.Observe(float64(time.Since(t0)))
+		rec.EndSpan(pick)
 		if len(batch) == 0 {
+			rec.EndSpan(round)
 			break // feature space exhausted
 		}
 		// Every NonP2Every-th selection trades its P2 message size for a
@@ -231,7 +307,9 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 				batch[i].Point.MsgBytes = featspace.NonP2Near(rng, batch[i].Point.MsgBytes)
 			}
 		}
-		if err := t.collect(c, batch, ts, res); err != nil {
+		err = t.collectSpanned(c, batch, ts, res, rec, round, "collect")
+		rec.EndSpan(round)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -244,6 +322,26 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		res.Model = model
 	}
 	return res, nil
+}
+
+// collectSpanned wraps collect in a span carrying the batch size and
+// the simulated machine time the batch cost.
+func (t *Tuner) collectSpanned(c coll.Collective, batch []autotune.Candidate, ts *autotune.TrainingSet,
+	res *Result, rec obs.Recorder, parent obs.SpanID, name string) error {
+
+	sp := rec.StartSpan(name, parent)
+	before := res.Ledger.Collection
+	t0 := time.Now()
+	err := t.collect(c, batch, ts, res)
+	t.met.collectNs.Observe(float64(time.Since(t0)))
+	if err == nil {
+		t.met.collects.Inc()
+		t.met.samples.Add(uint64(len(batch)))
+		rec.SetAttr(sp, "batch", float64(len(batch)))
+		rec.SetAttr(sp, "sim_us", res.Ledger.Collection-before)
+	}
+	rec.EndSpan(sp)
+	return err
 }
 
 // seedDesign builds the initial training batch. Default: the stratified
@@ -439,11 +537,4 @@ func (t *Tuner) LearningCurve(res *Result, fracs []float64,
 func candidateFor(spec benchmark.Spec) autotune.Candidate {
 	idx, _ := coll.AlgIndex(spec.Coll, spec.Alg)
 	return autotune.Candidate{Point: spec.Point, Alg: spec.Alg, AlgIdx: idx}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"slices"
+	"sort"
+	"text/tabwriter"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/obs"
+)
+
+// RunReportSchema versions the -run-report JSON shape; bump it on any
+// incompatible change so downstream tooling can dispatch.
+const RunReportSchema = "acclaim.run_report/v1"
+
+// RunReport is the observability dump of one tuning run: per-collective
+// convergence trajectories (the Fig. 9 / Fig. 10 series, regenerable
+// without re-running the experiment), per-phase time breakdowns
+// aggregated from the span timeline, the raw span timeline itself, and
+// a final snapshot of every registry metric.
+type RunReport struct {
+	Schema      string             `json:"schema"`
+	Machine     string             `json:"machine"`
+	Collectives []CollectiveReport `json:"collectives"`
+	Metrics     map[string]any     `json:"metrics,omitempty"`
+	Spans       []obs.Span         `json:"spans,omitempty"`
+}
+
+// CollectiveReport summarises one collective's tuning run.
+type CollectiveReport struct {
+	Name         string               `json:"name"`
+	Rounds       int                  `json:"rounds"`
+	Samples      int                  `json:"samples"`
+	SeedSamples  int                  `json:"seed_samples"`
+	Converged    bool                 `json:"converged"`
+	CollectionUs float64              `json:"collection_us"` // simulated machine time
+	NonP2Share   float64              `json:"non_p2_share"`
+	Phases       map[string]PhaseStat `json:"phases,omitempty"`
+	Convergence  []ConvergencePoint   `json:"convergence"`
+}
+
+// PhaseStat aggregates the spans of one phase (fit, score, pick,
+// collect, ...) under a collective's root span.
+type PhaseStat struct {
+	Count   int   `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+}
+
+// ConvergencePoint is one active-learning round of the convergence
+// trajectory: the cumulative jackknife variance against samples and
+// simulated collection time.
+type ConvergencePoint struct {
+	Round        int      `json:"round"`
+	Samples      int      `json:"samples"`
+	CumVariance  float64  `json:"cum_variance"`
+	CollectionUs float64  `json:"collection_us"`
+	Slowdown     *float64 `json:"slowdown,omitempty"` // only when an Evaluator ran
+}
+
+// BuildRunReport assembles the report from tuning results plus the
+// optional trace and registry the run was instrumented with (either may
+// be nil). Collectives are sorted by name for a stable layout.
+func BuildRunReport(machine string, results map[coll.Collective]*Result, trace *obs.Trace, reg *obs.Registry) *RunReport {
+	rep := &RunReport{
+		Schema:  RunReportSchema,
+		Machine: machine,
+		Metrics: reg.Snapshot(),
+	}
+	var spans []obs.Span
+	if trace != nil {
+		spans = trace.Spans()
+		rep.Spans = spans
+	}
+
+	names := make([]coll.Collective, 0, len(results))
+	for c := range results {
+		names = append(names, c)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].String() < names[j].String() })
+
+	for _, c := range names {
+		res := results[c]
+		cr := CollectiveReport{
+			Name:         c.String(),
+			Rounds:       len(res.Trace),
+			Samples:      len(res.Order),
+			SeedSamples:  res.SeedSamples,
+			Converged:    res.Converged,
+			CollectionUs: res.Ledger.Collection,
+			NonP2Share:   res.NonP2Share(),
+			Phases:       phaseBreakdown(spans, "tune:"+c.String()),
+		}
+		for _, tp := range res.Trace {
+			cp := ConvergencePoint{
+				Round:        tp.Iter,
+				Samples:      tp.Samples,
+				CumVariance:  tp.CumVariance,
+				CollectionUs: tp.CollectionTime,
+			}
+			if !math.IsNaN(tp.Slowdown) {
+				sd := tp.Slowdown
+				cp.Slowdown = &sd
+			}
+			cr.Convergence = append(cr.Convergence, cp)
+		}
+		rep.Collectives = append(rep.Collectives, cr)
+	}
+	return rep
+}
+
+// phaseBreakdown sums span durations by name across the subtree rooted
+// at the span named root. The root itself is excluded; still-open
+// spans (EndNs < 0) are skipped.
+func phaseBreakdown(spans []obs.Span, root string) map[string]PhaseStat {
+	var rootID obs.SpanID
+	for _, s := range spans {
+		if s.Name == root {
+			rootID = s.ID
+			break
+		}
+	}
+	if rootID == obs.NoSpan {
+		return nil
+	}
+	in := map[obs.SpanID]bool{rootID: true}
+	out := make(map[string]PhaseStat)
+	// Spans are appended in start order, so parents precede children
+	// and one forward pass covers the subtree.
+	for _, s := range spans {
+		if !in[s.Parent] {
+			continue
+		}
+		in[s.ID] = true
+		if s.EndNs < 0 {
+			continue
+		}
+		st := out[s.Name]
+		st.Count++
+		st.TotalNs += int64(s.Duration())
+		out[s.Name] = st
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *RunReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// summaryPhases is the fixed column order of the human-readable table;
+// phases outside this list (seed_collect, round) are folded into the
+// "other" column.
+var summaryPhases = []string{"fit", "score", "pick", "collect"}
+
+// WriteSummary prints the end-of-tuning table: per collective, the
+// round/sample counts, simulated collection time, and the host-time
+// breakdown across tuning phases.
+func (r *RunReport) WriteSummary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "collective\trounds\tsamples\tconverged\tsim-collect(s)")
+	for _, p := range summaryPhases {
+		fmt.Fprintf(tw, "\t%s(ms)", p)
+	}
+	fmt.Fprint(tw, "\tother(ms)\n")
+	for _, cr := range r.Collectives {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%.2f", cr.Name, cr.Rounds, cr.Samples, cr.Converged, cr.CollectionUs/1e6)
+		var accounted int64
+		for _, p := range summaryPhases {
+			st := cr.Phases[p]
+			accounted += st.TotalNs
+			fmt.Fprintf(tw, "\t%.1f", float64(st.TotalNs)/1e6)
+		}
+		var other int64
+		for name, st := range cr.Phases {
+			if name != "round" && !slices.Contains(summaryPhases, name) {
+				other += st.TotalNs
+			}
+		}
+		fmt.Fprintf(tw, "\t%.1f\n", float64(other)/1e6)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/forest"
+	"acclaim/internal/obs"
+)
+
+// update regenerates testdata/run_report.golden.json:
+//
+//	go test ./internal/core/ -run RunReportGolden -update
+var update = flag.Bool("update", false, "rewrite the run-report golden file")
+
+// TestRoundInstrumentationZeroAlloc gates the observability seam the
+// tuner's inner loop pays for: the full span + metric sequence of one
+// round must be allocation-free both with everything disabled (Nop
+// recorder, nil registry handles) and with live registry handles (the
+// recorder is the only part that may ever allocate, and only when a
+// real Trace is installed).
+func TestRoundInstrumentationZeroAlloc(t *testing.T) {
+	round := func(rec obs.Recorder, met tunerMetrics, cumVar *obs.Gauge) {
+		r := rec.StartSpan("round", obs.NoSpan)
+		fit := rec.StartSpan("fit", r)
+		met.fitNs.Observe(1000)
+		rec.EndSpan(fit)
+		score := rec.StartSpan("score", r)
+		met.scoreNs.Observe(2000)
+		rec.EndSpan(score)
+		rec.SetAttr(r, "round", 1)
+		rec.SetAttr(r, "samples", 10)
+		rec.SetAttr(r, "cum_variance", 0.5)
+		cumVar.Set(0.5)
+		met.rounds.Inc()
+		pick := rec.StartSpan("pick", r)
+		met.pickNs.Observe(3000)
+		rec.EndSpan(pick)
+		collect := rec.StartSpan("collect", r)
+		met.collectNs.Observe(4000)
+		met.collects.Inc()
+		met.samples.Add(4)
+		rec.EndSpan(collect)
+		rec.EndSpan(r)
+	}
+
+	disabled := newTunerMetrics(nil)
+	if n := testing.AllocsPerRun(1000, func() { round(obs.Nop, disabled, nil) }); n != 0 {
+		t.Errorf("disabled instrumentation allocates %v per round, want 0", n)
+	}
+
+	reg := obs.NewRegistry()
+	live := newTunerMetrics(reg)
+	gauge := reg.Gauge("tuner.bcast.cum_variance")
+	if n := testing.AllocsPerRun(1000, func() { round(obs.Nop, live, gauge) }); n != 0 {
+		t.Errorf("live metric handles allocate %v per round, want 0", n)
+	}
+}
+
+// tickClock is a deterministic trace clock: 1000, 2000, 3000, ... so
+// the golden timeline is byte-stable across hosts.
+func tickClock() func() int64 {
+	var n int64
+	return func() int64 { n += 1000; return n }
+}
+
+func obsConfig(reg *obs.Registry, trace *obs.Trace) Config {
+	cfg := testConfig()
+	cfg.Recorder = trace
+	cfg.Registry = reg
+	// Pin the pool so forest.train_workers is host-independent.
+	cfg.Forest.Workers = 1
+	cfg.Forest.Metrics = forest.NewMetrics(reg)
+	return cfg
+}
+
+func runReport(t *testing.T) *RunReport {
+	t.Helper()
+	reg := obs.NewRegistry()
+	trace := obs.NewTraceWithClock(tickClock())
+	tuner := New(obsConfig(reg, trace), liveBackend(t))
+	res, err := tuner.Tune(coll.Bcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildRunReport("test-sim", map[coll.Collective]*Result{coll.Bcast: res}, trace, reg)
+}
+
+func TestRunReportShape(t *testing.T) {
+	rep := runReport(t)
+	if rep.Schema != RunReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Collectives) != 1 || rep.Collectives[0].Name != "bcast" {
+		t.Fatalf("collectives = %+v", rep.Collectives)
+	}
+	cr := rep.Collectives[0]
+	if cr.Rounds == 0 || len(cr.Convergence) != cr.Rounds {
+		t.Errorf("rounds=%d convergence=%d, want equal and nonzero", cr.Rounds, len(cr.Convergence))
+	}
+	for i, cp := range cr.Convergence {
+		if cp.Round != i {
+			t.Errorf("convergence[%d].Round = %d", i, cp.Round)
+		}
+		if cp.CumVariance < 0 {
+			t.Errorf("convergence[%d].CumVariance = %v", i, cp.CumVariance)
+		}
+	}
+	// Later rounds must never report fewer samples: the trajectory is
+	// cumulative.
+	for i := 1; i < len(cr.Convergence); i++ {
+		if cr.Convergence[i].Samples < cr.Convergence[i-1].Samples {
+			t.Errorf("samples shrank at round %d", i)
+		}
+	}
+	for _, phase := range []string{"fit", "score", "collect", "seed_collect"} {
+		if cr.Phases[phase].Count == 0 {
+			t.Errorf("phase %q missing from breakdown: %+v", phase, cr.Phases)
+		}
+	}
+	if cr.Phases["fit"].Count != cr.Rounds {
+		t.Errorf("fit spans = %d, rounds = %d", cr.Phases["fit"].Count, cr.Rounds)
+	}
+	if len(rep.Spans) == 0 || rep.Spans[0].Name != "tune:bcast" {
+		t.Fatalf("span timeline missing or misrooted")
+	}
+	for _, s := range rep.Spans {
+		if s.EndNs < 0 {
+			t.Errorf("span %q left open in finished report", s.Name)
+		}
+	}
+	for _, name := range []string{"tuner.rounds_total", "tuner.samples_total",
+		"tuner.bcast.cum_variance", "forest.trains_total", "tuner.fit_ns"} {
+		if _, ok := rep.Metrics[name]; !ok {
+			t.Errorf("metric %q missing from snapshot", name)
+		}
+	}
+	if got := rep.Metrics["tuner.rounds_total"]; got != uint64(cr.Rounds) {
+		t.Errorf("tuner.rounds_total = %v, want %d", got, cr.Rounds)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := buf.String()
+	if !strings.Contains(sum, "bcast") || !strings.Contains(sum, "fit(ms)") {
+		t.Errorf("summary table malformed:\n%s", sum)
+	}
+}
+
+// TestRunReportGolden pins the full -run-report JSON byte-for-byte. The
+// tuning run is deterministic (seeded simulator, bit-identical forests,
+// tick trace clock), except for host-clock metrics — every registry key
+// ending in `_ns` (the naming convention reserves that suffix for host
+// nanoseconds) is replaced with a placeholder before comparison.
+func TestRunReportGolden(t *testing.T) {
+	rep := runReport(t)
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	metrics, ok := doc["metrics"].(map[string]any)
+	if !ok {
+		t.Fatal("report has no metrics object")
+	}
+	hostTimed := 0
+	for k := range metrics {
+		if strings.HasSuffix(k, "_ns") {
+			metrics[k] = "HOST_TIME"
+			hostTimed++
+		}
+	}
+	if hostTimed == 0 {
+		t.Error("no _ns metrics found — host-time normalisation is dead, check the naming convention")
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "run_report.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("run report differs from golden (run with -update to regenerate)\ngot %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// TestRunReportFile round-trips WriteFile output through json.Valid and
+// the schema check a CI consumer would apply.
+func TestRunReportFile(t *testing.T) {
+	rep := runReport(t)
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != RunReportSchema || len(back.Collectives) != 1 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+	if len(back.Spans) != len(rep.Spans) {
+		t.Errorf("round-trip spans = %d, want %d", len(back.Spans), len(rep.Spans))
+	}
+}

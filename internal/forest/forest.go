@@ -21,7 +21,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"acclaim/internal/obs"
 	"acclaim/internal/stats"
 )
 
@@ -38,6 +40,37 @@ type Config struct {
 	// serial path. The trained forest and all scores are independent of
 	// this value.
 	Workers int
+
+	// Metrics, when non-nil, receives per-Train observability (tree
+	// fit timing, pool occupancy). Nil costs nothing.
+	Metrics *Metrics
+}
+
+// Metrics are the forest's registry handles. Build with NewMetrics and
+// share one instance across every Config that should report into the
+// same registry.
+type Metrics struct {
+	Trains    *obs.Counter   // forest.trains_total: Train calls
+	Trees     *obs.Counter   // forest.trees_total: trees grown
+	Workers   *obs.Gauge     // forest.train_workers: pool size of the last Train
+	TreeFitNs *obs.Histogram // forest.tree_fit_ns: per-tree growth time
+	TrainNs   *obs.Histogram // forest.train_ns: whole-Train wall time
+	// PoolBusyNs accumulates summed per-tree growth time; divided by
+	// train_ns x train_workers it yields worker-pool occupancy.
+	PoolBusyNs *obs.Gauge // forest.pool_busy_ns
+}
+
+// NewMetrics registers the forest metric set on reg (nil reg gives
+// all-nil, no-op handles).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Trains:     reg.Counter("forest.trains_total"),
+		Trees:      reg.Counter("forest.trees_total"),
+		Workers:    reg.Gauge("forest.train_workers"),
+		TreeFitNs:  reg.Histogram("forest.tree_fit_ns"),
+		TrainNs:    reg.Histogram("forest.train_ns"),
+		PoolBusyNs: reg.Gauge("forest.pool_busy_ns"),
+	}
 }
 
 func (c Config) withDefaults(nFeatures int) Config {
@@ -150,12 +183,34 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 		seeds[ti] = rng.Int63()
 	}
 
+	// Observability: per-tree growth time feeds a histogram and a
+	// busy-time accumulator whose ratio to wall time is the pool's
+	// occupancy. All of it is skipped (including the clock reads) when
+	// Metrics is nil, keeping the uninstrumented path identical.
+	met := cfg.Metrics
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+	}
+	grow := func(b *builder, ti int) {
+		if met == nil {
+			f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+			return
+		}
+		s0 := time.Now()
+		f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+		d := float64(time.Since(s0))
+		met.TreeFitNs.Observe(d)
+		met.PoolBusyNs.Add(d)
+	}
+
 	workers := cfg.workers(cfg.NTrees)
 	if workers == 1 {
 		b := &builder{x: x, y: y, cfg: cfg}
 		for ti := range f.trees {
-			f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+			grow(b, ti)
 		}
+		trainDone(met, t0, cfg.NTrees, 1)
 		return f, nil
 	}
 	var next atomic.Int64
@@ -172,12 +227,24 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 				if ti >= cfg.NTrees {
 					return
 				}
-				f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+				grow(b, ti)
 			}
 		}()
 	}
 	wg.Wait()
+	trainDone(met, t0, cfg.NTrees, workers)
 	return f, nil
+}
+
+// trainDone records the end-of-Train metrics.
+func trainDone(met *Metrics, t0 time.Time, trees, workers int) {
+	if met == nil {
+		return
+	}
+	met.Trains.Inc()
+	met.Trees.Add(uint64(trees))
+	met.Workers.Set(float64(workers))
+	met.TrainNs.Observe(float64(time.Since(t0)))
 }
 
 // fv pairs one sample's feature value with its target for split scans.

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within a Trace. The zero value (NoSpan)
+// means "no parent" / "dropped".
+type SpanID int64
+
+// NoSpan is the root parent and the id every Nop span gets.
+const NoSpan SpanID = 0
+
+// Recorder is the tracing seam instrumented code talks to. The
+// pipeline's default is Nop, whose methods are free (no clock reads,
+// no allocation — AllocsPerRun-gated), so instrumentation can stay in
+// place on hot paths; cmd/acclaim installs a *Trace to capture the
+// tuning-run timeline. Implementations must be safe for concurrent
+// use.
+type Recorder interface {
+	// StartSpan opens a span under parent (NoSpan for a root) and
+	// returns its id.
+	StartSpan(name string, parent SpanID) SpanID
+	// EndSpan closes the span. Ending NoSpan or an already-ended span
+	// is a no-op.
+	EndSpan(id SpanID)
+	// SetAttr attaches a numeric attribute to an open span.
+	SetAttr(id SpanID, key string, value float64)
+}
+
+// Nop is the default Recorder: every method does nothing and performs
+// no allocation.
+var Nop Recorder = nopRecorder{}
+
+type nopRecorder struct{}
+
+func (nopRecorder) StartSpan(string, SpanID) SpanID { return NoSpan }
+func (nopRecorder) EndSpan(SpanID)                  {}
+func (nopRecorder) SetAttr(SpanID, string, float64) {}
+
+// Span is one recorded start/end event pair. Times are nanoseconds
+// since the trace epoch (its creation, under the default clock).
+type Span struct {
+	ID      SpanID             `json:"id"`
+	Parent  SpanID             `json:"parent,omitempty"`
+	Name    string             `json:"name"`
+	StartNs int64              `json:"start_ns"`
+	EndNs   int64              `json:"end_ns"`
+	Attrs   map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's recorded duration.
+func (s Span) Duration() time.Duration { return time.Duration(s.EndNs - s.StartNs) }
+
+// Trace is a Recorder that accumulates spans in memory for export as a
+// JSON timeline (the -run-report payload). It is mutex-guarded: span
+// events come from the tuning control loop, not from per-call hot
+// paths, so a lock is the right simplicity/throughput trade.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+	now   func() int64
+}
+
+// NewTrace returns a trace whose clock is host nanoseconds since this
+// call.
+func NewTrace() *Trace {
+	start := time.Now()
+	return &Trace{now: func() int64 { return int64(time.Since(start)) }}
+}
+
+// NewTraceWithClock returns a trace on a caller-supplied clock
+// (nanoseconds since an arbitrary epoch) — tests use a deterministic
+// tick so the exported timeline is byte-stable. The clock is only
+// called under the trace's lock.
+func NewTraceWithClock(now func() int64) *Trace {
+	return &Trace{now: now}
+}
+
+// StartSpan implements Recorder.
+func (t *Trace) StartSpan(name string, parent SpanID) SpanID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, StartNs: t.now(), EndNs: -1})
+	return id
+}
+
+// EndSpan implements Recorder.
+func (t *Trace) EndSpan(id SpanID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i := int(id) - 1; i >= 0 && i < len(t.spans) && t.spans[i].EndNs < 0 {
+		t.spans[i].EndNs = t.now()
+	}
+}
+
+// SetAttr implements Recorder.
+func (t *Trace) SetAttr(id SpanID, key string, value float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := int(id) - 1
+	if i < 0 || i >= len(t.spans) {
+		return
+	}
+	if t.spans[i].Attrs == nil {
+		t.spans[i].Attrs = make(map[string]float64, 4)
+	}
+	t.spans[i].Attrs[key] = value
+}
+
+// Spans returns a deep copy of the timeline in start order. Spans still
+// open have EndNs == -1.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i, s := range out {
+		if s.Attrs != nil {
+			a := make(map[string]float64, len(s.Attrs))
+			for k, v := range s.Attrs {
+				a[k] = v
+			}
+			out[i].Attrs = a
+		}
+	}
+	return out
+}

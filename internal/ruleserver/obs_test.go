@@ -1,0 +1,113 @@
+package ruleserver_test
+
+import (
+	"strings"
+	"testing"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/obs"
+	"acclaim/internal/ruleserver"
+)
+
+// TestRegisterMatchesStats pins the migration contract: the registry
+// view and the legacy Stats() view read the same per-epoch counters, so
+// they must always agree — including after a hot swap resets the epoch.
+func TestRegisterMatchesStats(t *testing.T) {
+	srv, err := ruleserver.NewFromFile(fixtureFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv.Register(reg)
+
+	check := func(when string) {
+		t.Helper()
+		st := srv.Stats()
+		snap := reg.Snapshot()
+		want := map[string]float64{
+			"ruleserver.lookups":          float64(st.Hits + st.Misses),
+			"ruleserver.hits":             float64(st.Hits),
+			"ruleserver.misses":           float64(st.Misses),
+			"ruleserver.snapshot_version": float64(st.Version),
+			"ruleserver.tables":           float64(st.Tables),
+			"ruleserver.rules":            float64(st.Rules),
+			"ruleserver.swaps_total":      float64(st.Swaps),
+		}
+		for name, w := range want {
+			if got := snap[name]; got != w {
+				t.Errorf("%s: %s = %v, want %v (stats %+v)", when, name, got, w, st)
+			}
+		}
+		lat, ok := snap["ruleserver.lookup_latency_ns"].(obs.HistSnapshot)
+		if !ok {
+			t.Fatalf("%s: lookup_latency_ns is %T", when, snap["ruleserver.lookup_latency_ns"])
+		}
+		// Latency is sampled (1-in-N lookups), so only bound it.
+		if lat.Count > uint64(st.Hits+st.Misses) {
+			t.Errorf("%s: latency samples %d exceed lookups %d", when, lat.Count, st.Hits+st.Misses)
+		}
+	}
+
+	check("fresh")
+	for i := 0; i < 500; i++ {
+		srv.Lookup(coll.Bcast, 4, 2, 256)     // hit
+		srv.Lookup(coll.Allreduce, 4, 2, 256) // miss: not in fixture
+	}
+	if st := srv.Stats(); st.Hits != 500 || st.Misses != 500 {
+		t.Fatalf("stats = %+v, want 500 hits / 500 misses", st)
+	}
+	check("after traffic")
+
+	// Swap starts a new epoch: both views must read zero lookup counters
+	// and the bumped version, with no re-Register needed.
+	if err := srv.Swap(fixtureFile()); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Version != 2 {
+		t.Fatalf("post-swap stats = %+v", st)
+	}
+	check("after swap")
+
+	srv.Lookup(coll.Bcast, 4, 2, 256)
+	check("new epoch traffic")
+}
+
+// TestRegisterPrometheus smoke-checks that the migrated counters render
+// on the /metrics endpoint acclaim-serve exposes.
+func TestRegisterPrometheus(t *testing.T) {
+	srv, err := ruleserver.NewFromFile(fixtureFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv.Register(reg)
+	srv.Lookup(coll.Bcast, 4, 2, 256)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"ruleserver_lookups 1",
+		"ruleserver_hits 1",
+		"ruleserver_misses 0",
+		"ruleserver_snapshot_version 1",
+		"# TYPE ruleserver_lookup_latency_ns histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestRegisterNilRegistry pins that Register on a nil registry is a
+// no-op rather than a panic.
+func TestRegisterNilRegistry(t *testing.T) {
+	srv, err := ruleserver.NewFromFile(fixtureFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(nil)
+}

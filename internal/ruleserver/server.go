@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"acclaim/internal/coll"
+	"acclaim/internal/obs"
 	"acclaim/internal/rules"
 )
 
@@ -15,19 +16,32 @@ import (
 // up in a profile.
 const latencySampleMask = 255
 
+// latencyBounds buckets the sampled lookup latency (nanoseconds): the
+// flattened index answers in single-digit to low-hundreds of ns, with
+// the tail capturing scheduling hiccups.
+var latencyBounds = []float64{16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
+
 // snapshot is one published generation of the index plus its
-// observability counters. Counters live on the snapshot, not the
-// server, so a hot-swap starts a fresh ledger and the stats of the
-// generation that served a query are the stats that count it.
+// observability counters — obs primitives since the registry
+// migration, but still owned by the snapshot, not the server (and not
+// the registry): a hot-swap starts a fresh ledger, and the stats of
+// the generation that served a query are the stats that count it. The
+// registry sees them through Register's read-on-demand func metrics,
+// which follow the atomic snapshot pointer, so registry reads always
+// reflect the current epoch without adding anything to the lock-free
+// lookup path.
 type snapshot struct {
 	idx      *Index
 	version  uint64
 	loadedAt time.Time
 
-	lookups    atomic.Uint64 // total lookups served by this snapshot
-	misses     atomic.Uint64 // lookups with no matching table/rule
-	latNanos   atomic.Uint64 // summed sampled lookup latency
-	latSamples atomic.Uint64
+	lookups obs.Counter    // total lookups served by this snapshot
+	misses  obs.Counter    // lookups with no matching table/rule
+	lat     *obs.Histogram // sampled lookup latency (ns)
+}
+
+func newSnapshot(idx *Index, version uint64) *snapshot {
+	return &snapshot{idx: idx, version: version, loadedAt: time.Now(), lat: obs.NewHistogram(latencyBounds...)}
 }
 
 // Server serves algorithm selections for collective calls. Readers are
@@ -48,7 +62,7 @@ type Server struct {
 // the first Swap.
 func New() *Server {
 	s := &Server{}
-	s.cur.Store(&snapshot{idx: &Index{}, loadedAt: time.Now()})
+	s.cur.Store(newSnapshot(&Index{}, 0))
 	return s
 }
 
@@ -83,8 +97,7 @@ func (s *Server) Swap(f *rules.File) error {
 	}
 	s.swapMu.Lock()
 	s.nextVer++
-	sn := &snapshot{idx: idx, version: s.nextVer, loadedAt: time.Now()}
-	s.cur.Store(sn)
+	s.cur.Store(newSnapshot(idx, s.nextVer))
 	s.swapMu.Unlock()
 	s.swaps.Add(1)
 	return nil
@@ -117,12 +130,11 @@ func (s *Server) LookupName(collective string, nodes, ppn, msg int) (string, boo
 }
 
 // lookupTimed is the sampled slow path: same lookup, bracketed by
-// monotonic clock reads.
+// monotonic clock reads feeding the latency histogram.
 func (sn *snapshot) lookupTimed(c coll.Collective, nodes, ppn, msg int) (string, bool) {
 	t0 := time.Now()
 	alg, ok := sn.idx.Lookup(c, nodes, ppn, msg)
-	sn.latNanos.Add(uint64(time.Since(t0)))
-	sn.latSamples.Add(1)
+	sn.lat.Observe(float64(time.Since(t0)))
 	if !ok {
 		sn.misses.Add(1)
 	}
@@ -145,7 +157,9 @@ type Stats struct {
 	AvgLatency time.Duration // mean sampled lookup latency (0 if unsampled)
 }
 
-// Stats reads the current snapshot's counters.
+// Stats reads the current snapshot's counters. Since the obs
+// migration this is a thin view over the same obs.Counter/obs.Histogram
+// state Register exposes to a metrics registry.
 func (s *Server) Stats() Stats {
 	sn := s.cur.Load()
 	lookups := sn.lookups.Load()
@@ -159,8 +173,31 @@ func (s *Server) Stats() Stats {
 		Misses:   misses,
 		Swaps:    s.swaps.Load(),
 	}
-	if n := sn.latSamples.Load(); n > 0 {
-		st.AvgLatency = time.Duration(sn.latNanos.Load() / n)
+	if n := sn.lat.Count(); n > 0 {
+		st.AvgLatency = time.Duration(sn.lat.Sum() / float64(n))
 	}
 	return st
+}
+
+// Register exposes the server's counters on a metrics registry as
+// read-on-demand metrics. Every read follows the atomic snapshot
+// pointer, so the values always describe the currently serving epoch
+// (they reset on Swap, exactly like Stats) and nothing is added to the
+// lock-free lookup path. The server-lifetime swap counter is the one
+// cumulative metric.
+func (s *Server) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("ruleserver.lookups", func() float64 { return float64(s.cur.Load().lookups.Load()) })
+	reg.Func("ruleserver.hits", func() float64 {
+		sn := s.cur.Load()
+		return float64(sn.lookups.Load() - sn.misses.Load())
+	})
+	reg.Func("ruleserver.misses", func() float64 { return float64(s.cur.Load().misses.Load()) })
+	reg.Func("ruleserver.snapshot_version", func() float64 { return float64(s.cur.Load().version) })
+	reg.Func("ruleserver.tables", func() float64 { return float64(len(s.cur.Load().idx.byName)) })
+	reg.Func("ruleserver.rules", func() float64 { return float64(s.cur.Load().idx.rules) })
+	reg.Func("ruleserver.swaps_total", func() float64 { return float64(s.swaps.Load()) })
+	reg.HistogramFunc("ruleserver.lookup_latency_ns", func() *obs.Histogram { return s.cur.Load().lat })
 }

@@ -13,7 +13,29 @@ import (
 	"fmt"
 
 	"acclaim/internal/cluster"
+	"acclaim/internal/obs"
 )
+
+// Metrics are the scheduler's registry handles. Build with NewMetrics;
+// pass them to PlanWaveObs/PlanAllObs (nil disables recording).
+type Metrics struct {
+	Waves    *obs.Counter   // sched.waves_total: planned waves
+	WaveSize *obs.Histogram // sched.wave_size: benchmarks packed per wave
+	// Stalls counts layer-conflict stalls: requests that were ready but
+	// had to wait for a later wave because placing them would share a
+	// rack (layer 1) or rack pair (layer 2) with an earlier placement.
+	Stalls *obs.Counter // sched.stalls_total
+}
+
+// NewMetrics registers the scheduler metric set on reg (nil reg gives
+// all-nil, no-op handles).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Waves:    reg.Counter("sched.waves_total"),
+		WaveSize: reg.Histogram("sched.wave_size", 1, 2, 4, 8, 16, 32, 64),
+		Stalls:   reg.Counter("sched.stalls_total"),
+	}
+}
 
 // Request asks for one benchmark run needing Nodes nodes. Priority is
 // the jackknife variance of the underlying training point: higher runs
@@ -51,6 +73,23 @@ func (p Placement) PhysicalNodes(alloc cluster.Allocation) []int {
 //     racks they touch — as used, and repeat.
 //  4. If it does not fit, stop and run the wave.
 func PlanWave(alloc cluster.Allocation, reqs []Request) (wave []Placement, unplaced []Request) {
+	return PlanWaveObs(alloc, reqs, nil)
+}
+
+// PlanWaveObs is PlanWave with observability: when met is non-nil it
+// records the wave's size and counts the requests stalled past the
+// wave boundary by the congestion constraints.
+func PlanWaveObs(alloc cluster.Allocation, reqs []Request, met *Metrics) (wave []Placement, unplaced []Request) {
+	wave, unplaced = planWave(alloc, reqs)
+	if met != nil {
+		met.Waves.Inc()
+		met.WaveSize.Observe(float64(len(wave)))
+		met.Stalls.Add(uint64(len(unplaced)))
+	}
+	return wave, unplaced
+}
+
+func planWave(alloc cluster.Allocation, reqs []Request) (wave []Placement, unplaced []Request) {
 	n := alloc.Size()
 	used := make([]bool, n)
 	cursor := 0
@@ -101,10 +140,16 @@ func PlanWave(alloc cluster.Allocation, reqs []Request) (wave []Placement, unpla
 // returning the full multi-wave schedule. It returns an error if some
 // request can never fit (needs more nodes than the allocation has).
 func PlanAll(alloc cluster.Allocation, reqs []Request) ([][]Placement, error) {
+	return PlanAllObs(alloc, reqs, nil)
+}
+
+// PlanAllObs is PlanAll with per-wave observability recorded on met
+// (nil disables recording).
+func PlanAllObs(alloc cluster.Allocation, reqs []Request, met *Metrics) ([][]Placement, error) {
 	var waves [][]Placement
 	pending := append([]Request(nil), reqs...)
 	for len(pending) > 0 {
-		wave, rest := PlanWave(alloc, pending)
+		wave, rest := PlanWaveObs(alloc, pending, met)
 		if len(wave) == 0 {
 			return nil, fmt.Errorf("sched: request for %d nodes cannot fit on %d-node allocation",
 				rest[0].Nodes, alloc.Size())
