@@ -19,6 +19,11 @@
 // fails anything >25% above baseline). Repeatable -floor name=value
 // flags put a lower bound on custom metrics (e.g. -floor speedup=4
 // fails any benchmark whose reported speedup drops below 4).
+//
+// Exit codes (shared with cmd/acclaim-lint): 0 = clean, 1 = findings
+// (benchmark regressions), 2 = tool error (bad flags, empty input,
+// unreadable baseline). Note `go run` collapses any nonzero child
+// status to 1; build the binary to observe the 1-vs-2 distinction.
 package main
 
 import (
@@ -79,6 +84,14 @@ func main() {
 	gateTime := flag.Bool("time", false, "also gate ns/op (timing is noisy on shared runners)")
 	floors := floorFlags{}
 	flag.Var(floors, "floor", "metric lower bound as name=value, repeatable (e.g. -floor speedup=4)")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(),
+			"usage: go test -bench=. ... | benchguard [flags]\n\n"+
+				"Parses `go test -bench` output from stdin, snapshots it as JSON, and\n"+
+				"gates on regressions against a checked-in baseline.\n\n"+
+				"Exit codes: 0 = clean, 1 = findings, 2 = tool error.\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	snap, err := parse(os.Stdin)
@@ -245,7 +258,9 @@ func writeJSON(path string, s *Snapshot) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// fatal reports a tool error on the shared benchguard/acclaim-lint
+// convention: findings exit 1, tool breakage exits 2.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchguard:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

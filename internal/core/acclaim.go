@@ -28,7 +28,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"acclaim/internal/autotune"
 	"acclaim/internal/benchmark"
@@ -145,6 +144,22 @@ func newTunerMetrics(reg *obs.Registry) tunerMetrics {
 	}
 }
 
+// endRound is the per-round instrumentation hook: round attributes on
+// the span, the per-collective convergence gauge, and the round
+// counter. It runs inside the active-learning loop, so it must stay
+// allocation-free — TestRoundInstrumentationZeroAlloc pins it with
+// AllocsPerRun and acclaim-lint's zeroalloc analyzer rejects syntactic
+// allocation sites at review time.
+//
+//acclaim:zeroalloc
+func (m tunerMetrics) endRound(rec obs.Recorder, round obs.SpanID, iter, samples int, cum float64, cumVar *obs.Gauge) {
+	rec.SetAttr(round, "round", float64(iter))
+	rec.SetAttr(round, "samples", float64(samples))
+	rec.SetAttr(round, "cum_variance", cum)
+	cumVar.Set(cum)
+	m.rounds.Inc()
+}
+
 // Tuner is an ACCLAiM autotuner over a benchmark backend.
 type Tuner struct {
 	cfg     Config
@@ -216,8 +231,10 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 	detector := &stats.StallDetector{Window: t.cfg.Window, MinImprove: t.cfg.Epsilon}
 
 	rec := t.cfg.Recorder
+	//acclaim:allow metricname root span is tune:<collective>; c.String() is a fixed lower-case enum name
 	root := rec.StartSpan("tune:"+c.String(), obs.NoSpan)
 	defer rec.EndSpan(root)
+	//acclaim:allow metricname per-collective gauge tuner.<collective>.cum_variance; segments are fixed enum names
 	cumVarGauge := t.cfg.Registry.Gauge("tuner." + c.String() + ".cum_variance")
 
 	if err := t.collectSpanned(c, t.seedDesign(cands), ts, res, rec, root, "seed_collect"); err != nil {
@@ -230,9 +247,9 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		round := rec.StartSpan("round", root)
 
 		fit := rec.StartSpan("fit", round)
-		t0 := time.Now()
+		t0 := obs.NowNs()
 		model, err := autotune.TrainModel(t.cfg.Forest, ts)
-		t.met.fitNs.Observe(float64(time.Since(t0)))
+		t.met.fitNs.Observe(float64(obs.NowNs() - t0))
 		rec.EndSpan(fit)
 		if err != nil {
 			rec.EndSpan(round)
@@ -245,13 +262,13 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		// variance used in place of a test-set metric. The sum runs in
 		// index order, so it is bit-identical at any worker count.
 		score := rec.StartSpan("score", round)
-		t0 = time.Now()
+		t0 = obs.NowNs()
 		variances := model.VarianceBatch(cands)
 		var cum float64
 		for _, v := range variances {
 			cum += v
 		}
-		t.met.scoreNs.Observe(float64(time.Since(t0)))
+		t.met.scoreNs.Observe(float64(obs.NowNs() - t0))
 		rec.EndSpan(score)
 
 		tp := autotune.TracePoint{
@@ -271,11 +288,7 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		}
 		res.Trace = append(res.Trace, tp)
 
-		rec.SetAttr(round, "round", float64(iter))
-		rec.SetAttr(round, "samples", float64(ts.Len()))
-		rec.SetAttr(round, "cum_variance", cum)
-		cumVarGauge.Set(cum)
-		t.met.rounds.Inc()
+		t.met.endRound(rec, round, iter, ts.Len(), cum, cumVarGauge)
 
 		minSamples := t.cfg.MinSamples
 		if minSamples == 0 {
@@ -291,9 +304,9 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 
 		// Pick the next batch: highest-variance uncollected candidates.
 		pick := rec.StartSpan("pick", round)
-		t0 = time.Now()
+		t0 = obs.NowNs()
 		batch := t.pickBatch(cands, variances, ts)
-		t.met.pickNs.Observe(float64(time.Since(t0)))
+		t.met.pickNs.Observe(float64(obs.NowNs() - t0))
 		rec.EndSpan(pick)
 		if len(batch) == 0 {
 			rec.EndSpan(round)
@@ -329,11 +342,12 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 func (t *Tuner) collectSpanned(c coll.Collective, batch []autotune.Candidate, ts *autotune.TrainingSet,
 	res *Result, rec obs.Recorder, parent obs.SpanID, name string) error {
 
+	//acclaim:allow metricname span name is a caller-supplied literal ("seed_collect" or "collect")
 	sp := rec.StartSpan(name, parent)
 	before := res.Ledger.Collection
-	t0 := time.Now()
+	t0 := obs.NowNs()
 	err := t.collect(c, batch, ts, res)
-	t.met.collectNs.Observe(float64(time.Since(t0)))
+	t.met.collectNs.Observe(float64(obs.NowNs() - t0))
 	if err == nil {
 		t.met.collects.Inc()
 		t.met.samples.Add(uint64(len(batch)))

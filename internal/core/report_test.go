@@ -34,11 +34,7 @@ func TestRoundInstrumentationZeroAlloc(t *testing.T) {
 		score := rec.StartSpan("score", r)
 		met.scoreNs.Observe(2000)
 		rec.EndSpan(score)
-		rec.SetAttr(r, "round", 1)
-		rec.SetAttr(r, "samples", 10)
-		rec.SetAttr(r, "cum_variance", 0.5)
-		cumVar.Set(0.5)
-		met.rounds.Inc()
+		met.endRound(rec, r, 1, 10, 0.5, cumVar)
 		pick := rec.StartSpan("pick", r)
 		met.pickNs.Observe(3000)
 		rec.EndSpan(pick)

@@ -21,7 +21,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"acclaim/internal/obs"
 	"acclaim/internal/stats"
@@ -188,18 +187,18 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 	// occupancy. All of it is skipped (including the clock reads) when
 	// Metrics is nil, keeping the uninstrumented path identical.
 	met := cfg.Metrics
-	var t0 time.Time
+	var t0 int64
 	if met != nil {
-		t0 = time.Now()
+		t0 = obs.NowNs()
 	}
 	grow := func(b *builder, ti int) {
 		if met == nil {
 			f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
 			return
 		}
-		s0 := time.Now()
+		s0 := obs.NowNs()
 		f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
-		d := float64(time.Since(s0))
+		d := float64(obs.NowNs() - s0)
 		met.TreeFitNs.Observe(d)
 		met.PoolBusyNs.Add(d)
 	}
@@ -236,15 +235,16 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 	return f, nil
 }
 
-// trainDone records the end-of-Train metrics.
-func trainDone(met *Metrics, t0 time.Time, trees, workers int) {
+// trainDone records the end-of-Train metrics. t0 is the obs.NowNs
+// reading taken when training started.
+func trainDone(met *Metrics, t0 int64, trees, workers int) {
 	if met == nil {
 		return
 	}
 	met.Trains.Inc()
 	met.Trees.Add(uint64(trees))
 	met.Workers.Set(float64(workers))
-	met.TrainNs.Observe(float64(time.Since(t0)))
+	met.TrainNs.Observe(float64(obs.NowNs() - t0))
 }
 
 // fv pairs one sample's feature value with its target for split scans.

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the non-test Go packages under root that
+// match the given patterns ("./pkg" for one directory, "./..." or
+// "./pkg/..." for a subtree; testdata, vendor, and hidden directories
+// are skipped during expansion). Type-checking uses the stdlib source
+// importer — no compiler export data, no external modules — with cgo
+// disabled so the pure-Go views of std packages are used.
+//
+// Test files are deliberately excluded: the invariants guard production
+// code, and tests legitimately fake clocks, names, and locks.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// The source importer resolves and type-checks dependencies from
+	// source; with cgo off, std packages like net fall back to their
+	// pure-Go variants, which is all these analyzers need. One shared
+	// importer caches every dependency across the run.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := loadDir(root, modPath, dir, fset, imp)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// loadDir loads the single package in dir, or nil if dir holds no
+// non-test Go files.
+func loadDir(root, modPath, dir string, fset *token.FileSet, imp types.Importer) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	path := modPath
+	if rel, err := filepath.Rel(root, dir); err == nil && rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+
+	p := &Package{Path: path, Dir: dir, Root: root, Fset: fset, Files: files, TPkg: tpkg, Info: info}
+	p.parseDirectives()
+	return p, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module line", root)
+}
+
+// expand resolves patterns to package directories.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		fi, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory", pat)
+		}
+		if !rec {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

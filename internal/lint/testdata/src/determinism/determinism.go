@@ -1,0 +1,62 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: every `want` comment is a diagnostic the analyzer must
+// produce on that line, and lines without one must stay silent.
+package determinism
+
+import (
+	cryptorand "crypto/rand"
+	mrand "math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+func clocks() (int64, time.Duration) {
+	t0 := time.Now()          // want `call to time\.Now in deterministic tuning package`
+	d := time.Since(t0)       // want `call to time\.Since`
+	_ = time.Until(t0.Add(d)) // want `call to time\.Until`
+	return t0.UnixNano(), d
+}
+
+// startupStamp's read never reaches tuned output, so a scoped allow
+// with a reason keeps it silent.
+//
+//acclaim:allow determinism log timestamp, never feeds tuned output
+func startupStamp() time.Time {
+	return time.Now()
+}
+
+func draws(r *mrand.Rand, buf []byte) (int, uint64) {
+	a := mrand.Intn(10)  // want `call to global math/rand\.Intn draws from the unseeded shared source`
+	b := randv2.Uint64() // want `call to global math/rand/v2\.Uint64`
+	a += r.Intn(10)      // seeded *rand.Rand: fine
+	seeded := mrand.New(mrand.NewSource(42))
+	_, _ = cryptorand.Read(buf) // want `crypto/rand is nondeterministic by design`
+	return a + seeded.Intn(3), b
+}
+
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration appends to out, which is never sorted in leak`
+	}
+	return out
+}
+
+func sortedCollect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func allowedLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//acclaim:allow determinism feeds an unordered membership set downstream
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package directive is the golden fixture for directive hygiene:
+// malformed acclaim directives are findings in their own right, under
+// the pseudo-check "directive".
+package directive
+
+//acclaim:zeroalloc on a var is meaningless // want `//acclaim:zeroalloc must be in a function's doc comment`
+var counter int
+
+func touch() {
+	counter++
+}
+
+//acclaim:allow speling some reason // want `//acclaim:allow names unknown check "speling"`
+func unknownCheck() {
+	touch()
+}
+
+func missingReason() {
+	// want `//acclaim:allow determinism needs a reason`
+	//acclaim:allow determinism
+	touch()
+}
+
+//acclaim:allow lockcheck documented reason, so this one is hygienic
+func wellFormed() {
+	touch()
+}

@@ -1,0 +1,29 @@
+// Package metricname is the golden fixture for the metricname
+// analyzer: literal lower_snake dotted names, the _ns suffix rule for
+// default-bucket histograms, per-package uniqueness, and the
+// constant-name requirement.
+package metricname
+
+import "acclaim/internal/obs"
+
+func register(reg *obs.Registry, rec obs.Recorder, dyn string) {
+	reg.Counter("fixture.lookups_total")
+	reg.Counter("Fixture.Bad")                   // want `name "Fixture\.Bad" does not match`
+	reg.Histogram("fixture.fit")                 // want `histogram "fixture\.fit" uses the default host-nanosecond buckets but does not end in _ns`
+	reg.Histogram("fixture.fit_ns")              // default buckets with _ns: fine
+	reg.Histogram("fixture.size_bytes", 1, 2, 4) // explicit bounds: fine
+	reg.Gauge("fixture.lookups_total")           // want `metric "fixture\.lookups_total" already registered at`
+	reg.Counter(dyn)                             // want `metric name is not a constant string`
+
+	id := rec.StartSpan("tune:bcast", obs.NoSpan)
+	rec.EndSpan(id)
+	rec.EndSpan(rec.StartSpan("Tune Bcast", obs.NoSpan)) // want `name "Tune Bcast" does not match`
+}
+
+// perCollective builds one gauge per collective at setup time; the
+// runtime segments keep the scheme, which the allow records.
+//
+//acclaim:allow metricname per-collective gauge: tuner.<coll>.cum_variance, segments are lower_snake
+func perCollective(reg *obs.Registry, coll string) *obs.Gauge {
+	return reg.Gauge("tuner." + coll + ".cum_variance")
+}

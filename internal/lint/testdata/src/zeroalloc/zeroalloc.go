@@ -1,0 +1,66 @@
+// Package zeroalloc is the golden fixture for the zeroalloc analyzer:
+// only functions annotated //acclaim:zeroalloc are scanned, and each
+// `want` comment is a required diagnostic.
+package zeroalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v any) { _ = v }
+
+//acclaim:zeroalloc
+func builtins(n int) []int {
+	s := make([]int, n) // want `make allocates in zeroalloc function builtins`
+	p := new(int)       // want `new allocates in zeroalloc function builtins`
+	s = append(s, *p)   // want `append allocates in zeroalloc function builtins`
+	v := pair{a: n}     // want `composite literal allocates in zeroalloc function builtins`
+	fmt.Println(v)      // want `call to fmt\.Println allocates in zeroalloc function builtins`
+	return s
+}
+
+//acclaim:zeroalloc
+func concat(parts []string) string {
+	var s, t string
+	for _, p := range parts {
+		s += p        // want `string \+= in a loop allocates`
+		t = t + "sep" // want `string concatenation in a loop allocates`
+	}
+	return s + t // outside any loop: fine
+}
+
+//acclaim:zeroalloc
+func closure(n int) func() int {
+	return func() int { return n } // want `closure captures n and is heap-allocated`
+}
+
+//acclaim:zeroalloc
+func boxing(x int, p *int, bs []byte) (any, string) {
+	sink(x)         // want `argument boxes int into interface parameter`
+	sink(p)         // pointer-shaped: boxes without allocating
+	i := any(x)     // want `conversion boxes int into an interface`
+	s := string(bs) // want `conversion between string and byte/rune slice allocates`
+	return i, s
+}
+
+//acclaim:zeroalloc
+func clean(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// allowedAppend's append always hits preallocated capacity in its one
+// call site, so the site is suppressed with a reason.
+//
+//acclaim:allow zeroalloc amortised: caller preallocates full capacity
+//acclaim:zeroalloc
+func allowedAppend(dst []int, x int) []int {
+	return append(dst, x)
+}
+
+func unannotated(n int) []int {
+	return make([]int, n) // not annotated: analyzer must stay silent
+}

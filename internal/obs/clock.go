@@ -1,0 +1,22 @@
+package obs
+
+import "time"
+
+// clockEpoch anchors NowNs. A fixed process epoch keeps the values
+// small and monotonic (time.Since uses the monotonic clock), which is
+// all instrumentation needs: every consumer takes differences or feeds
+// *_ns histograms.
+var clockEpoch = time.Now()
+
+// NowNs returns the host instrumentation clock: monotonic nanoseconds
+// since process start. It is the single seam through which the
+// deterministic tuning packages (core, forest, ...) may read host time —
+// acclaim-lint's determinism analyzer forbids time.Now there, so that a
+// wall-clock read feeding a tuning *decision* cannot land without
+// tripping CI, while duration metrics keep flowing. Observations built
+// from NowNs differences are host time and must land in metrics ending
+// in _ns (the metricname analyzer enforces the suffix; the run-report
+// golden normalises on it).
+//
+//acclaim:zeroalloc
+func NowNs() int64 { return int64(time.Since(clockEpoch)) }

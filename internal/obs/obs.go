@@ -44,6 +44,8 @@ type Counter struct {
 
 // Add increments the counter by d and returns the new value (0 on a
 // nil receiver).
+//
+//acclaim:zeroalloc
 func (c *Counter) Add(d uint64) uint64 {
 	if c == nil {
 		return 0
@@ -52,6 +54,8 @@ func (c *Counter) Add(d uint64) uint64 {
 }
 
 // Inc increments the counter by one and returns the new value.
+//
+//acclaim:zeroalloc
 func (c *Counter) Inc() uint64 { return c.Add(1) }
 
 // Load returns the current count.
@@ -70,6 +74,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//acclaim:zeroalloc
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -79,6 +85,8 @@ func (g *Gauge) Set(v float64) {
 
 // Add atomically adds d (a CAS loop; gauges used as float accumulators
 // are expected to see modest contention).
+//
+//acclaim:zeroalloc
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
@@ -129,6 +137,8 @@ func NewHistogram(bounds ...float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//acclaim:zeroalloc
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -212,8 +222,8 @@ type histFunc func() *Histogram
 // nil handles, which no-op. Output order is registration order.
 type Registry struct {
 	mu    sync.Mutex
-	order []string
-	by    map[string]any
+	order []string       // guarded by mu
+	by    map[string]any // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -35,8 +35,13 @@ var Nop Recorder = nopRecorder{}
 
 type nopRecorder struct{}
 
+//acclaim:zeroalloc
 func (nopRecorder) StartSpan(string, SpanID) SpanID { return NoSpan }
-func (nopRecorder) EndSpan(SpanID)                  {}
+
+//acclaim:zeroalloc
+func (nopRecorder) EndSpan(SpanID) {}
+
+//acclaim:zeroalloc
 func (nopRecorder) SetAttr(SpanID, string, float64) {}
 
 // Span is one recorded start/end event pair. Times are nanoseconds
@@ -59,8 +64,8 @@ func (s Span) Duration() time.Duration { return time.Duration(s.EndNs - s.StartN
 // paths, so a lock is the right simplicity/throughput trade.
 type Trace struct {
 	mu    sync.Mutex
-	spans []Span
-	now   func() int64
+	spans []Span       // guarded by mu
+	now   func() int64 // guarded by mu (set once at construction, read under lock)
 }
 
 // NewTrace returns a trace whose clock is host nanoseconds since this

@@ -141,11 +141,18 @@ func TestHandleZeroAlloc(t *testing.T) {
 	var c Counter
 	var g Gauge
 	h := NewHistogram(1, 10, 100)
+	var ns int64
 	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
 		c.Inc()
+		g.Set(2.5)
 		g.Add(1.5)
 		h.Observe(42)
+		ns += NowNs()
 	}); n != 0 {
 		t.Errorf("metric handles allocate %v per event, want 0", n)
+	}
+	if ns <= 0 {
+		t.Errorf("NowNs sum = %d, want > 0", ns)
 	}
 }

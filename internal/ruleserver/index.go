@@ -279,6 +279,8 @@ func searchGE(a []int64, v int64) int {
 // the rare table too large to enumerate. Misses are impossible for
 // tables compiled from a validated file, so the result bool only
 // exists for symmetry with Index.Lookup.
+//
+//acclaim:zeroalloc
 func (ti *tableIndex) lookup(nodes, ppn, msg int) (string, bool) {
 	if ti.ppnResolve == nil {
 		return ti.walk(nodes, ppn, msg)
@@ -320,6 +322,8 @@ func (ti *tableIndex) lookup(nodes, ppn, msg int) (string, bool) {
 // an Unbounded catch-all, which no query value can exceed (Unbounded is
 // MaxInt64). The implicit slice bounds checks remain as the memory-
 // safety backstop.
+//
+//acclaim:zeroalloc
 func (ti *tableIndex) walk(nodes, ppn, msg int) (string, bool) {
 	i := int(ti.nodeStart[expOf(nodes)&(numExp-1)])
 	if i < 0 {
@@ -358,6 +362,8 @@ func (ti *tableIndex) walk(nodes, ppn, msg int) (string, bool) {
 // tableIndex.lookup) to keep the hot path a single non-inlined call
 // deep; at single-digit nanoseconds per lookup a second call frame is
 // measurable.
+//
+//acclaim:zeroalloc
 func (ix *Index) Lookup(c coll.Collective, nodes, ppn, msg int) (string, bool) {
 	if uint(c) >= uint(len(ix.byColl)) {
 		return "", false
@@ -398,6 +404,8 @@ func (ix *Index) Lookup(c coll.Collective, nodes, ppn, msg int) (string, bool) {
 
 // LookupName resolves a query by table name, for tables whose names are
 // not known collectives (or callers holding only strings).
+//
+//acclaim:zeroalloc
 func (ix *Index) LookupName(collective string, nodes, ppn, msg int) (string, bool) {
 	ti := ix.byName[collective]
 	if ti == nil {

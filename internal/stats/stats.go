@@ -148,8 +148,8 @@ type ThresholdDetector struct {
 	Limit float64
 
 	mu        sync.Mutex
-	converged bool
-	history   []float64
+	converged bool      // guarded by mu
+	history   []float64 // guarded by mu
 }
 
 // NewThresholdDetector returns a detector with the given limit.
@@ -198,11 +198,11 @@ type VarianceWindowDetector struct {
 	Relative bool    // interpret Epsilon as a relative change
 
 	mu        sync.Mutex
-	last      float64
-	have      bool
-	smallRun  int
-	converged bool
-	history   []float64
+	last      float64   // guarded by mu
+	have      bool      // guarded by mu
+	smallRun  int       // guarded by mu
+	converged bool      // guarded by mu
+	history   []float64 // guarded by mu
 }
 
 // NewVarianceWindowDetector returns a detector with the paper's default
@@ -275,8 +275,8 @@ type StallDetector struct {
 	MinImprove float64 // required relative change per window to keep training
 
 	mu        sync.Mutex
-	history   []float64
-	converged bool
+	history   []float64 // guarded by mu
+	converged bool      // guarded by mu
 }
 
 // Observe records a sample and returns true once improvement has
