@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"acclaim/internal/benchmark"
 	"acclaim/internal/coll"
@@ -127,12 +128,16 @@ func (ts *TrainingSet) Has(c Candidate) bool { return ts.have[c.Spec(ts.Coll)] }
 func (ts *TrainingSet) Len() int { return len(ts.Samples) }
 
 // Matrix renders features and log-time targets for the unified
-// (algorithm-as-feature) model.
+// (algorithm-as-feature) model. Rows are subslices of one flat backing
+// array, sized exactly up front so appends never reallocate.
 func (ts *TrainingSet) Matrix() (x [][]float64, y []float64) {
 	x = make([][]float64, len(ts.Samples))
 	y = make([]float64, len(ts.Samples))
+	flat := make([]float64, 0, len(ts.Samples)*featspace.NumFeatures)
 	for i, s := range ts.Samples {
-		x[i] = featspace.Features(s.Candidate.Point, s.Candidate.AlgIdx)
+		start := len(flat)
+		flat = featspace.AppendFeatures(flat, s.Candidate.Point, s.Candidate.AlgIdx)
+		x[i] = flat[start:len(flat):len(flat)]
 		y[i] = math.Log(s.Mean)
 	}
 	return x, y
@@ -141,11 +146,25 @@ func (ts *TrainingSet) Matrix() (x [][]float64, y []float64) {
 // MatrixForAlg renders features and targets restricted to one algorithm
 // (for per-algorithm model designs, without the algorithm feature).
 func (ts *TrainingSet) MatrixForAlg(alg string) (x [][]float64, y []float64) {
+	n := 0
+	for _, s := range ts.Samples {
+		if s.Candidate.Alg == alg {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	x = make([][]float64, 0, n)
+	y = make([]float64, 0, n)
+	flat := make([]float64, 0, n*(featspace.NumFeatures-1))
 	for _, s := range ts.Samples {
 		if s.Candidate.Alg != alg {
 			continue
 		}
-		x = append(x, featspace.Features(s.Candidate.Point))
+		start := len(flat)
+		flat = featspace.AppendFeatures(flat, s.Candidate.Point)
+		x = append(x, flat[start:len(flat):len(flat)])
 		y = append(y, math.Log(s.Mean))
 	}
 	return x, y
@@ -153,26 +172,41 @@ func (ts *TrainingSet) MatrixForAlg(alg string) (x [][]float64, y []float64) {
 
 // Model is a trained unified model for one collective: a single forest
 // with the algorithm index as an input feature (ACCLAiM's design,
-// Section V).
+// Section V). Scoring goes through the forest's compiled SoA kernel;
+// the pointer-walk Forest stays reachable via F as the reference path.
 type Model struct {
 	Coll coll.Collective
 	F    *forest.Forest
+
+	compileOnce sync.Once      // builds kern on first use
+	kern        *forest.Kernel // immutable once built; see Kernel
 }
 
-// TrainModel fits the unified model on a training set.
+// TrainModel fits the unified model on a training set and compiles its
+// inference kernel (once per Train — tuners retrain every round, so the
+// compile cost is paid exactly once per round).
 func TrainModel(cfg forest.Config, ts *TrainingSet) (*Model, error) {
 	x, y := ts.Matrix()
 	f, err := forest.Train(cfg, x, y)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{Coll: ts.Coll, F: f}, nil
+	m := &Model{Coll: ts.Coll, F: f}
+	m.Kernel()
+	return m, nil
+}
+
+// Kernel returns the forest's compiled inference kernel, building it on
+// first use. The kernel is immutable and safe for concurrent scoring.
+func (m *Model) Kernel() *forest.Kernel {
+	m.compileOnce.Do(func() { m.kern = m.F.Compile() })
+	return m.kern
 }
 
 // PredictTime returns the predicted collective time in microseconds for
 // an algorithm (by index) at a point.
 func (m *Model) PredictTime(p featspace.Point, algIdx int) float64 {
-	return math.Exp(m.F.Predict(featspace.Features(p, algIdx)))
+	return math.Exp(m.Kernel().Predict(featspace.Features(p, algIdx)))
 }
 
 // Variance returns the jackknife variance of the model's (log-scale)
@@ -182,16 +216,46 @@ func (m *Model) Variance(c Candidate) float64 {
 	return m.F.JackknifeVariance(featspace.Features(c.Point, c.AlgIdx))
 }
 
-// VarianceBatch returns the jackknife variance for every candidate,
-// fanned across the forest's worker pool — the batched form of the
-// active-learning scoring sweep. out[i] equals Variance(cands[i])
-// exactly, for any worker count.
-func (m *Model) VarianceBatch(cands []Candidate) []float64 {
-	xs := make([][]float64, len(cands))
-	for i, c := range cands {
-		xs[i] = featspace.Features(c.Point, c.AlgIdx)
+// Arena holds a scoring call site's reusable buffers: the flat
+// candidate feature matrix and the kernel output vector. Tuners keep
+// one Arena across rounds (the builder-arena pattern forest training
+// uses for its scratch), so steady-state sweeps re-encode and re-score
+// the pool without allocating. Slices returned by the *Into methods
+// alias the arena and are valid until its next use. An Arena must not
+// be shared between goroutines.
+type Arena struct {
+	x   featspace.Matrix
+	out []float64
+}
+
+// grow returns a length-n slice, reusing s's backing array when it is
+// large enough.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	return m.F.JackknifeVarianceBatch(xs)
+	return s[:n]
+}
+
+// VarianceBatch returns the jackknife variance for every candidate via
+// the compiled kernel — the batched form of the active-learning
+// scoring sweep. out[i] equals Variance(cands[i]) bit for bit, for any
+// worker count.
+func (m *Model) VarianceBatch(cands []Candidate) []float64 {
+	var a Arena
+	return m.VarianceBatchInto(&a, cands)
+}
+
+// VarianceBatchInto is VarianceBatch with caller-owned buffers. The
+// returned slice aliases the arena.
+func (m *Model) VarianceBatchInto(a *Arena, cands []Candidate) []float64 {
+	a.x.Reset(m.F.NumFeatures())
+	for _, c := range cands {
+		a.x.AppendPoint(c.Point, c.AlgIdx)
+	}
+	a.out = grow(a.out, len(cands))
+	m.Kernel().ScoreFlat(a.x.Data(), nil, a.out)
+	return a.out
 }
 
 // Select returns the algorithm with the lowest predicted time at p.
@@ -211,6 +275,9 @@ func (m *Model) Select(p featspace.Point) string {
 // Ties resolve exactly as Select does: exp is strictly monotone, so
 // comparing log-scale predictions picks the same first-lowest
 // algorithm.
+// The points are encoded into one flat matrix once; per algorithm only
+// the trailing algorithm-index column is rewritten before the kernel
+// sweep.
 func (m *Model) SelectBatch(pts []featspace.Point) []string {
 	algs := coll.AlgorithmNames(m.Coll)
 	best := make([]string, len(pts))
@@ -219,12 +286,17 @@ func (m *Model) SelectBatch(pts []featspace.Point) []string {
 		best[i] = algs[0]
 		bestT[i] = math.Inf(1)
 	}
-	xs := make([][]float64, len(pts))
+	nf := m.F.NumFeatures()
+	var x featspace.Matrix
+	x.Reset(nf)
+	for _, p := range pts {
+		x.AppendPoint(p, 0)
+	}
+	preds := make([]float64, len(pts))
+	k := m.Kernel()
 	for ai, a := range algs {
-		for i, p := range pts {
-			xs[i] = featspace.Features(p, ai)
-		}
-		preds := m.F.PredictBatch(xs)
+		x.SetCol(nf-1, float64(ai))
+		k.PredictFlat(x.Data(), preds)
 		for i, t := range preds {
 			if t < bestT[i] {
 				best[i], bestT[i] = a, t
@@ -235,14 +307,22 @@ func (m *Model) SelectBatch(pts []featspace.Point) []string {
 }
 
 // PerAlgModel is the prior works' design: one forest per algorithm
-// (Hunold et al., Section II-C1).
+// (Hunold et al., Section II-C1). Scoring goes through per-algorithm
+// compiled kernels, built eagerly by TrainPerAlg.
 type PerAlgModel struct {
 	Coll    coll.Collective
 	Forests map[string]*forest.Forest
+
+	mu sync.Mutex
+	// kerns caches each algorithm's compiled kernel, keyed like
+	// Forests; guarded by mu (kernels themselves are immutable and
+	// returned outside the lock).
+	kerns map[string]*forest.Kernel
 }
 
-// TrainPerAlg fits one forest per algorithm that has samples. Algorithms
-// with no samples are absent and never selected.
+// TrainPerAlg fits one forest per algorithm that has samples and
+// compiles each into its inference kernel. Algorithms with no samples
+// are absent and never selected.
 func TrainPerAlg(cfg forest.Config, ts *TrainingSet) (*PerAlgModel, error) {
 	m := &PerAlgModel{Coll: ts.Coll, Forests: make(map[string]*forest.Forest)}
 	for _, alg := range coll.AlgorithmNames(ts.Coll) {
@@ -255,11 +335,32 @@ func TrainPerAlg(cfg forest.Config, ts *TrainingSet) (*PerAlgModel, error) {
 			return nil, fmt.Errorf("autotune: training %s/%s: %w", ts.Coll, alg, err)
 		}
 		m.Forests[alg] = f
+		m.kernel(alg)
 	}
 	if len(m.Forests) == 0 {
 		return nil, errors.New("autotune: no algorithm has training samples")
 	}
 	return m, nil
+}
+
+// kernel returns the compiled kernel for alg, compiling and caching it
+// on first use. It returns nil for algorithms without a trained forest.
+func (m *PerAlgModel) kernel(alg string) *forest.Kernel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k, ok := m.kerns[alg]; ok {
+		return k
+	}
+	f, ok := m.Forests[alg]
+	if !ok {
+		return nil
+	}
+	if m.kerns == nil {
+		m.kerns = make(map[string]*forest.Kernel, len(m.Forests))
+	}
+	k := f.Compile()
+	m.kerns[alg] = k
+	return k
 }
 
 // Select queries every per-algorithm model and picks the lowest
@@ -269,36 +370,39 @@ func (m *PerAlgModel) Select(p featspace.Point) string {
 	best := ""
 	bestT := math.Inf(1)
 	for _, alg := range coll.AlgorithmNames(m.Coll) {
-		f, ok := m.Forests[alg]
-		if !ok {
+		k := m.kernel(alg)
+		if k == nil {
 			continue
 		}
-		if t := f.Predict(feats); t < bestT {
+		if t := k.Predict(feats); t < bestT {
 			best, bestT = alg, t
 		}
 	}
 	return best
 }
 
-// SelectBatch returns Select for every point with one batched forest
-// sweep per algorithm. Results match Select exactly, including tie
-// handling (algorithms are visited in registry order in both).
+// SelectBatch returns Select for every point with one compiled-kernel
+// sweep per algorithm over a single flat feature matrix. Results match
+// Select exactly, including tie handling (algorithms are visited in
+// registry order in both).
 func (m *PerAlgModel) SelectBatch(pts []featspace.Point) []string {
-	feats := make([][]float64, len(pts))
-	for i, p := range pts {
-		feats[i] = featspace.Features(p)
+	var x featspace.Matrix
+	x.Reset(featspace.NumFeatures - 1) // per-alg models see no algorithm feature
+	for _, p := range pts {
+		x.AppendPoint(p)
 	}
 	best := make([]string, len(pts))
 	bestT := make([]float64, len(pts))
 	for i := range bestT {
 		bestT[i] = math.Inf(1)
 	}
+	preds := make([]float64, len(pts))
 	for _, alg := range coll.AlgorithmNames(m.Coll) {
-		f, ok := m.Forests[alg]
-		if !ok {
+		k := m.kernel(alg)
+		if k == nil {
 			continue
 		}
-		preds := f.PredictBatch(feats)
+		k.PredictFlat(x.Data(), preds)
 		for i, t := range preds {
 			if t < bestT[i] {
 				best[i], bestT[i] = alg, t

@@ -243,6 +243,10 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 	res.SeedSamples = len(res.Order)
 
 	selCount := 0
+	// One scoring arena for the whole run: the candidate matrix and
+	// variance buffer are encoded into the same backing arrays every
+	// round, so steady-state sweeps stop allocating after round one.
+	var arena autotune.Arena
 	for iter := 0; iter < t.cfg.MaxIterations; iter++ {
 		round := rec.StartSpan("round", root)
 
@@ -257,13 +261,14 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		}
 		res.Model = model
 
-		// Jackknife variance for every candidate — one batched sweep
-		// across the forest's worker pool; their sum is the cumulative
-		// variance used in place of a test-set metric. The sum runs in
-		// index order, so it is bit-identical at any worker count.
+		// Jackknife variance for every candidate — one fused
+		// compiled-kernel sweep across the forest's worker pool; their
+		// sum is the cumulative variance used in place of a test-set
+		// metric. The sum runs in index order, so it is bit-identical
+		// at any worker count.
 		score := rec.StartSpan("score", round)
 		t0 = obs.NowNs()
-		variances := model.VarianceBatch(cands)
+		variances := model.VarianceBatchInto(&arena, cands)
 		var cum float64
 		for _, v := range variances {
 			cum += v

@@ -174,6 +174,9 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		}
 	}
 
+	// One scoring arena across every surrogate round: the open-pool
+	// matrix and variance buffer reuse the same backing arrays.
+	var arena autotune.Arena
 	for iter := 0; ts.Len() < maxPoints; iter++ {
 		// The surrogate — FACT's stand-in for DeepHyper — picks the next
 		// point by its own jackknife uncertainty. Note the structural
@@ -184,7 +187,7 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		next, ok := argmaxVariance(surrogate, pool, ts)
+		next, ok := argmaxVariance(surrogate, &arena, pool, ts)
 		if !ok {
 			break // pool exhausted
 		}
@@ -229,10 +232,11 @@ func (t *Tuner) Tune(c coll.Collective) (*Result, error) {
 }
 
 // argmaxVariance returns the uncollected candidate with the highest
-// surrogate variance, scoring the open pool in one batched sweep. Ties
-// break toward the earlier pool position for determinism (the open
-// list preserves pool order and the comparison is strict).
-func argmaxVariance(m *autotune.Model, pool []autotune.Candidate, ts *autotune.TrainingSet) (autotune.Candidate, bool) {
+// surrogate variance, scoring the open pool in one fused
+// compiled-kernel sweep through the caller's arena. Ties break toward
+// the earlier pool position for determinism (the open list preserves
+// pool order and the comparison is strict).
+func argmaxVariance(m *autotune.Model, a *autotune.Arena, pool []autotune.Candidate, ts *autotune.TrainingSet) (autotune.Candidate, bool) {
 	var open []autotune.Candidate
 	for _, cand := range pool {
 		if !ts.Has(cand) {
@@ -242,7 +246,7 @@ func argmaxVariance(m *autotune.Model, pool []autotune.Candidate, ts *autotune.T
 	if len(open) == 0 {
 		return autotune.Candidate{}, false
 	}
-	vs := m.VarianceBatch(open)
+	vs := m.VarianceBatchInto(a, open)
 	bestI := 0
 	for i, v := range vs {
 		if v > vs[bestI] {

@@ -190,20 +190,89 @@ func NonP2Near(rng *rand.Rand, v int) int {
 // as constant zero and cannot exploit them, reproducing the failure
 // mode in Figure 5 of the paper.
 func Features(pt Point, algIdx ...int) []float64 {
-	f := []float64{
+	return AppendFeatures(make([]float64, 0, NumFeatures), pt, algIdx...)
+}
+
+// AppendFeatures appends the Features encoding of pt (and optional
+// algorithm indices) to dst and returns the extended slice. It is the
+// allocation-free form used on the scoring hot path: candidate pools
+// are encoded into one reused flat buffer per round instead of one
+// fresh slice per point.
+func AppendFeatures(dst []float64, pt Point, algIdx ...int) []float64 {
+	dst = append(dst,
 		float64(pt.Nodes),
 		float64(pt.PPN),
 		Log2(pt.MsgBytes),
 		Log2(pt.Ranks()),
 		P2Frac(pt.MsgBytes),
 		P2Frac(pt.Nodes),
-	}
+	)
 	for _, a := range algIdx {
-		f = append(f, float64(a))
+		dst = append(dst, float64(a))
 	}
-	return f
+	return dst
 }
 
 // NumFeatures is the length of the vector returned by Features with one
 // algorithm index appended.
 const NumFeatures = 7
+
+// Matrix is a flat, row-major feature buffer — the batch counterpart
+// of Features. A scoring round Resets the matrix, AppendPoints the
+// candidate pool, and hands Data straight to the compiled forest
+// kernel's flat entry points; the backing buffer survives Reset, so a
+// steady-state sweep encodes its pool with zero allocations.
+type Matrix struct {
+	data []float64
+	cols int
+}
+
+// Reset empties the matrix and fixes the row width, keeping the
+// underlying buffer for reuse. It panics for a non-positive width.
+func (m *Matrix) Reset(cols int) {
+	if cols < 1 {
+		panic("featspace: Matrix row width must be positive")
+	}
+	m.cols = cols
+	m.data = m.data[:0]
+}
+
+// AppendPoint encodes one point (see Features) as the next row. It
+// panics if the encoding width differs from the matrix's row width.
+func (m *Matrix) AppendPoint(pt Point, algIdx ...int) {
+	start := len(m.data)
+	m.data = AppendFeatures(m.data, pt, algIdx...)
+	if len(m.data)-start != m.cols {
+		panic(fmt.Sprintf("featspace: encoded %d features into a %d-column matrix", len(m.data)-start, m.cols))
+	}
+}
+
+// Rows returns the number of encoded rows.
+func (m *Matrix) Rows() int {
+	if m.cols == 0 {
+		return 0
+	}
+	return len(m.data) / m.cols
+}
+
+// Cols returns the row width fixed by the last Reset.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Data returns the row-major backing slice, aliased until the next
+// Reset or AppendPoint.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns row i, aliased into the backing slice.
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// SetCol overwrites column j in every row. The unified-model selector
+// uses it to re-target the trailing algorithm-index feature without
+// re-encoding the pool for each algorithm.
+func (m *Matrix) SetCol(j int, v float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("featspace: SetCol(%d) on a %d-column matrix", j, m.cols))
+	}
+	for i := j; i < len(m.data); i += m.cols {
+		m.data[i] = v
+	}
+}

@@ -119,3 +119,93 @@ func BenchmarkPredictBatch(b *testing.B) {
 		_ = f.PredictBatch(x)
 	}
 }
+
+// kernelBench builds the paper-scale scoring workload of the ISSUE 5
+// acceptance criteria: a 30-tree forest (default depth 14) over the
+// 7-dim featspace-shaped encoding, 2048 flat queries, serial workers
+// (the zero-alloc path; parallel fan-out is covered by correctness
+// tests).
+func kernelBench(b *testing.B) (*Forest, *Kernel, [][]float64, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	row := func() []float64 {
+		return []float64{
+			rng.Float64() * 64, rng.Float64() * 32, rng.Float64() * 20,
+			rng.Float64() * 11, rng.Float64(), rng.Float64(), float64(rng.Intn(4)),
+		}
+	}
+	x := make([][]float64, 2000)
+	y := make([]float64, 2000)
+	for i := range x {
+		x[i] = row()
+		y[i] = math.Log1p(x[i][0]*x[i][2]) + math.Sin(x[i][3]) + x[i][6] + rng.NormFloat64()*0.05
+	}
+	f, err := Train(Config{NTrees: 30, Seed: 7, Workers: 1}, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nq = 2048
+	qs := make([][]float64, nq)
+	flat := make([]float64, 0, nq*7)
+	for i := range qs {
+		qs[i] = row()
+		flat = append(flat, qs[i]...)
+	}
+	return f, f.Compile(), qs, flat
+}
+
+// BenchmarkKernelScoreFlat is the fused compiled sweep (mean +
+// jackknife variance in one pass). Steady state is zero-alloc — the
+// baseline pins allocs/op at 0 as a hard benchguard gate.
+func BenchmarkKernelScoreFlat(b *testing.B) {
+	_, k, _, flat := kernelBench(b)
+	mean := make([]float64, len(flat)/7)
+	vari := make([]float64, len(flat)/7)
+	runtime.GC()                  // quiesce training garbage so no cycle empties the pool mid-run
+	k.ScoreFlat(flat, mean, vari) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ScoreFlat(flat, mean, vari)
+	}
+}
+
+// BenchmarkKernelPredictFlat is the compiled mean-prediction sweep,
+// also gated at 0 allocs/op.
+func BenchmarkKernelPredictFlat(b *testing.B) {
+	_, k, _, flat := kernelBench(b)
+	out := make([]float64, len(flat)/7)
+	runtime.GC()             // quiesce training garbage so no cycle empties the pool mid-run
+	k.PredictFlat(flat, out) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.PredictFlat(flat, out)
+	}
+}
+
+// BenchmarkKernelSpeedup times the reference JackknifeVarianceBatch
+// against the fused kernel sweep on identical inputs (both serial, so
+// the ratio measures the representation, not the pool) and reports the
+// ratio as the kernel_speedup metric; CI gates it with
+// `benchguard -floor kernel_speedup=3`.
+func BenchmarkKernelSpeedup(b *testing.B) {
+	f, k, qs, flat := kernelBench(b)
+	vari := make([]float64, len(qs))
+	k.ScoreFlat(flat, nil, vari) // warm the scratch pool
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		tRef := testingBenchTime(func() {
+			for r := 0; r < 8; r++ {
+				_ = f.JackknifeVarianceBatch(qs)
+			}
+		})
+		tKern := testingBenchTime(func() {
+			for r := 0; r < 8; r++ {
+				k.ScoreFlat(flat, nil, vari)
+			}
+		})
+		speedup = tRef / tKern
+	}
+	b.ReportMetric(speedup, "kernel_speedup")
+}

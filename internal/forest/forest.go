@@ -522,8 +522,13 @@ func (f *Forest) JackknifeVarianceBatch(xs [][]float64) []float64 {
 	return out
 }
 
+// dimPanicFormat is the dimensionality-mismatch panic shared by the
+// reference path and the compiled Kernel, so callers observe one
+// message regardless of which path scored the row.
+const dimPanicFormat = "forest: predicting with %d features, trained on %d"
+
 func (f *Forest) check(x []float64) {
 	if len(x) != f.nFeatures {
-		panic(fmt.Sprintf("forest: predicting with %d features, trained on %d", len(x), f.nFeatures))
+		panic(fmt.Sprintf(dimPanicFormat, len(x), f.nFeatures))
 	}
 }

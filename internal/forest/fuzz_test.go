@@ -1,0 +1,92 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCompiledDifferential proves Forest.Compile is observationally
+// identical to the reference pointer-walk path: for an arbitrary
+// trained forest (hyperparameters and data derived deterministically
+// from the fuzzed inputs) and an arbitrary query batch, the compiled
+// Predict / PredictBatch / JackknifeVarianceBatch must reproduce the
+// reference results bit for bit. Two Workers settings are compared per
+// input — trained forests are bit-identical across worker counts, so
+// the pair also pins kernel results to be worker-independent. Shapes
+// deliberately sweep the degenerate corners: single trees, pure-leaf
+// trees (constant targets), empty batches, and batches straddling the
+// blockQ tile boundary.
+//
+// Seeded corpus below; CI runs this target for 30s per push (the
+// fuzz-smoke job).
+func FuzzCompiledDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(4), uint8(40), uint8(10), false)
+	f.Add(int64(7), uint8(1), uint8(6), uint8(80), uint8(130), false) // NTrees=1, nq > blockQ
+	f.Add(int64(42), uint8(8), uint8(1), uint8(30), uint8(65), true)  // stumps on constant target
+	f.Add(int64(-3), uint8(3), uint8(5), uint8(50), uint8(0), false)  // empty batch
+	f.Fuzz(func(t *testing.T, seed int64, nTrees, depth, nSamples, nQueries uint8, constant bool) {
+		nt := int(nTrees)%8 + 1
+		md := int(depth)%6 + 1
+		ns := int(nSamples)%100 + 2
+		nq := int(nQueries) % 160
+		nf := int(seed&3) + 2 // 2-5 features
+
+		rng := rand.New(rand.NewSource(seed))
+		x := make([][]float64, ns)
+		y := make([]float64, ns)
+		for i := range x {
+			row := make([]float64, nf)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 10
+			}
+			x[i] = row
+			if constant {
+				y[i] = 3.25 // pure-leaf trees: every split collapses
+			} else {
+				y[i] = row[0]*row[1%nf] + rng.NormFloat64()
+			}
+		}
+		qs := make([][]float64, nq)
+		for i := range qs {
+			row := make([]float64, nf)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 12
+			}
+			qs[i] = row
+		}
+
+		cfg := Config{NTrees: nt, MaxDepth: md, Seed: seed, Workers: 1}
+		ref, err := Train(cfg, x, y)
+		if err != nil {
+			t.Fatalf("training the reference forest: %v", err)
+		}
+		cfg.Workers = int(nQueries)%4 + 1
+		alt, err := Train(cfg, x, y) // bit-identical forest, different pool size
+		if err != nil {
+			t.Fatalf("training the alternate forest: %v", err)
+		}
+
+		wantP := ref.PredictBatch(qs)
+		wantV := ref.JackknifeVarianceBatch(qs)
+		for _, k := range []*Kernel{ref.Compile(), alt.Compile()} {
+			gotP := k.PredictBatch(qs)
+			gotV := k.JackknifeVarianceBatch(qs)
+			if len(gotP) != nq || len(gotV) != nq {
+				t.Fatalf("kernel returned %d/%d rows, want %d", len(gotP), len(gotV), nq)
+			}
+			for i := range qs {
+				if gotP[i] != wantP[i] {
+					t.Fatalf("PredictBatch[%d]: kernel %v != reference %v (workers=%d)", i, gotP[i], wantP[i], cfg.Workers)
+				}
+				if gotV[i] != wantV[i] {
+					t.Fatalf("JackknifeVarianceBatch[%d]: kernel %v != reference %v (workers=%d)", i, gotV[i], wantV[i], cfg.Workers)
+				}
+			}
+			for i := 0; i < nq && i < 5; i++ {
+				if got, want := k.Predict(qs[i]), ref.Predict(qs[i]); got != want {
+					t.Fatalf("Predict[%d]: kernel %v != reference %v", i, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package forest
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its bookkeeping allocates inside sync.Pool, so the zero-alloc
+// gates only hold on uninstrumented builds.
+const raceEnabled = true

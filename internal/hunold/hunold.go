@@ -74,8 +74,9 @@ type Result struct {
 func (r *Result) Select(p featspace.Point) string { return r.Model.Select(p) }
 
 // SelectBatch implements autotune.BatchSelector via the per-algorithm
-// models' batched sweep, so slowdown evaluation over large test grids
-// fans across the worker pool.
+// models' compiled-kernel sweep over one flat feature matrix, so
+// slowdown evaluation over large test grids fans across the worker
+// pool without per-point encoding allocations.
 func (r *Result) SelectBatch(pts []featspace.Point) []string { return r.Model.SelectBatch(pts) }
 
 // Tune collects a fraction of the candidate pool at random and trains

@@ -44,6 +44,13 @@ var zeroAllocManifest = map[string][]string{
 	"internal/core": {
 		"tunerMetrics.endRound",
 	},
+	"internal/forest": {
+		"Kernel.Predict",
+		"Kernel.predictBlock",
+		"Kernel.scoreBlock",
+		"Kernel.walk",
+		"Kernel.walkLevels",
+	},
 }
 
 // annotatedFuncs parses one package directory (no type-checking
