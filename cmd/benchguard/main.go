@@ -98,14 +98,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(snap.Benchmarks) == 0 {
-		fatal(fmt.Errorf("no benchmark lines found on stdin"))
-	}
+	// Write the snapshot before any gate or input check can exit
+	// nonzero: BENCH_ci.json is a CI artifact that matters most on
+	// failing runs, so every exit path below leaves it behind.
 	if *out != "" {
 		if err := writeJSON(*out, snap); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "benchguard: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
 	if *update != "" {
 		if err := writeJSON(*update, snap); err != nil {

@@ -143,6 +143,36 @@ func (ts *TrainingSet) Matrix() (x [][]float64, y []float64) {
 	return x, y
 }
 
+// FillMatrix renders the unified design into a flat featspace.Matrix
+// (rows reuse m's backing buffer across rounds) and returns the
+// log-time targets — the zero-copy input of forest.TrainMatrix, which
+// bins columns straight off the flat buffer. Row i matches Matrix()'s
+// row i exactly.
+func (ts *TrainingSet) FillMatrix(m *featspace.Matrix) (y []float64) {
+	m.Reset(featspace.NumFeatures)
+	y = make([]float64, len(ts.Samples))
+	for i, s := range ts.Samples {
+		m.AppendPoint(s.Candidate.Point, s.Candidate.AlgIdx)
+		y[i] = math.Log(s.Mean)
+	}
+	return y
+}
+
+// FillMatrixForAlg is FillMatrix restricted to one algorithm, without
+// the algorithm feature (the per-algorithm model design). It returns
+// nil targets and leaves m empty when the algorithm has no samples.
+func (ts *TrainingSet) FillMatrixForAlg(m *featspace.Matrix, alg string) (y []float64) {
+	m.Reset(featspace.NumFeatures - 1)
+	for _, s := range ts.Samples {
+		if s.Candidate.Alg != alg {
+			continue
+		}
+		m.AppendPoint(s.Candidate.Point)
+		y = append(y, math.Log(s.Mean))
+	}
+	return y
+}
+
 // MatrixForAlg renders features and targets restricted to one algorithm
 // (for per-algorithm model designs, without the algorithm feature).
 func (ts *TrainingSet) MatrixForAlg(alg string) (x [][]float64, y []float64) {
@@ -186,8 +216,9 @@ type Model struct {
 // inference kernel (once per Train — tuners retrain every round, so the
 // compile cost is paid exactly once per round).
 func TrainModel(cfg forest.Config, ts *TrainingSet) (*Model, error) {
-	x, y := ts.Matrix()
-	f, err := forest.Train(cfg, x, y)
+	var x featspace.Matrix
+	y := ts.FillMatrix(&x)
+	f, err := forest.TrainMatrix(cfg, &x, y)
 	if err != nil {
 		return nil, err
 	}
@@ -325,12 +356,13 @@ type PerAlgModel struct {
 // are absent and never selected.
 func TrainPerAlg(cfg forest.Config, ts *TrainingSet) (*PerAlgModel, error) {
 	m := &PerAlgModel{Coll: ts.Coll, Forests: make(map[string]*forest.Forest)}
+	var x featspace.Matrix
 	for _, alg := range coll.AlgorithmNames(ts.Coll) {
-		x, y := ts.MatrixForAlg(alg)
-		if len(x) == 0 {
+		y := ts.FillMatrixForAlg(&x, alg)
+		if len(y) == 0 {
 			continue
 		}
-		f, err := forest.Train(cfg, x, y)
+		f, err := forest.TrainMatrix(cfg, &x, y)
 		if err != nil {
 			return nil, fmt.Errorf("autotune: training %s/%s: %w", ts.Coll, alg, err)
 		}

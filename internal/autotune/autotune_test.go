@@ -105,6 +105,56 @@ func TestTrainingSetMatrix(t *testing.T) {
 	}
 }
 
+// TestFillMatrixMatchesMatrix: the flat training-set renderings feed
+// forest.TrainMatrix the same rows (and targets) the row-of-slices
+// renderings produce, for both model designs.
+func TestFillMatrixMatchesMatrix(t *testing.T) {
+	ts := NewTrainingSet(coll.Bcast)
+	for i, alg := range []string{"binomial", "ring", "binomial", "scatter_allgather"} {
+		ts.Add(Candidate{
+			Point:  featspace.Point{Nodes: 2 << i, PPN: 2, MsgBytes: 64 << i},
+			Alg:    alg,
+			AlgIdx: i % 3,
+		}, float64(100+i*7), 700)
+	}
+
+	var m featspace.Matrix
+	y := ts.FillMatrix(&m)
+	x, wantY := ts.Matrix()
+	if m.Rows() != len(x) || m.Cols() != featspace.NumFeatures {
+		t.Fatalf("FillMatrix shape %dx%d, want %dx%d", m.Rows(), m.Cols(), len(x), featspace.NumFeatures)
+	}
+	for i := range x {
+		for j, v := range x[i] {
+			if m.Row(i)[j] != v {
+				t.Fatalf("FillMatrix row %d col %d = %v, want %v", i, j, m.Row(i)[j], v)
+			}
+		}
+		if y[i] != wantY[i] {
+			t.Fatalf("FillMatrix target %d = %v, want %v", i, y[i], wantY[i])
+		}
+	}
+
+	for _, alg := range []string{"binomial", "ring", "missing"} {
+		ya := ts.FillMatrixForAlg(&m, alg)
+		xa, wantYa := ts.MatrixForAlg(alg)
+		if m.Rows() != len(xa) || len(ya) != len(wantYa) {
+			t.Fatalf("%s: FillMatrixForAlg %d rows / %d targets, want %d / %d",
+				alg, m.Rows(), len(ya), len(xa), len(wantYa))
+		}
+		for i := range xa {
+			for j, v := range xa[i] {
+				if m.Row(i)[j] != v {
+					t.Fatalf("%s: per-alg row %d col %d = %v, want %v", alg, i, j, m.Row(i)[j], v)
+				}
+			}
+			if ya[i] != wantYa[i] {
+				t.Fatalf("%s: per-alg target %d differs", alg, i)
+			}
+		}
+	}
+}
+
 // trainOn collects every candidate into a training set from the dataset.
 func trainOn(t *testing.T, ds *dataset.Dataset, cl coll.Collective) *TrainingSet {
 	t.Helper()

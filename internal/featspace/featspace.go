@@ -247,6 +247,35 @@ func (m *Matrix) AppendPoint(pt Point, algIdx ...int) {
 	}
 }
 
+// AppendRow appends one raw feature row. Its first use fixes the row
+// width if no Reset has; afterwards it panics on a width mismatch,
+// like AppendPoint. Training-set assembly uses it to lay measured
+// points straight into the flat buffer forest.TrainMatrix consumes.
+func (m *Matrix) AppendRow(vals ...float64) {
+	if m.cols == 0 {
+		m.Reset(len(vals))
+	}
+	if len(vals) != m.cols {
+		panic(fmt.Sprintf("featspace: appended a %d-feature row to a %d-column matrix", len(vals), m.cols))
+	}
+	m.data = append(m.data, vals...)
+}
+
+// Col gathers column j into dst (len == Rows) — the column view the
+// forest trainer's binning pass reads. It panics if j is out of range
+// or dst has the wrong length.
+func (m *Matrix) Col(j int, dst []float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("featspace: Col(%d) on a %d-column matrix", j, m.cols))
+	}
+	if len(dst) != m.Rows() {
+		panic(fmt.Sprintf("featspace: Col destination has %d slots for %d rows", len(dst), m.Rows()))
+	}
+	for i := range dst {
+		dst[i] = m.data[i*m.cols+j]
+	}
+}
+
 // Rows returns the number of encoded rows.
 func (m *Matrix) Rows() int {
 	if m.cols == 0 {

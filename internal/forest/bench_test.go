@@ -41,7 +41,7 @@ func benchTrain(b *testing.B, workers int) {
 }
 
 // BenchmarkTrainSerial is the baseline: 100 trees, 2k samples, one
-// worker.
+// worker, on the default (compiled histogram) training path.
 func BenchmarkTrainSerial(b *testing.B) { benchTrain(b, 1) }
 
 // BenchmarkTrainParallel is the same workload on the full worker pool —
@@ -49,10 +49,12 @@ func BenchmarkTrainSerial(b *testing.B) { benchTrain(b, 1) }
 // cores.
 func BenchmarkTrainParallel(b *testing.B) { benchTrain(b, 0) }
 
-// BenchmarkTrainSpeedup trains serial and parallel back to back and
-// reports the observed speedup as a metric, so the ratio itself lands
-// in benchmark output (machine-independent, unlike ns/op).
-func BenchmarkTrainSpeedup(b *testing.B) {
+// BenchmarkTrainParallelSpeedup trains serial and parallel back to
+// back and reports the observed pool speedup as a metric, so the ratio
+// itself lands in benchmark output (machine-independent, unlike
+// ns/op). Not CI-gated: on 2-core shared runners the honest ratio is
+// ~1x.
+func BenchmarkTrainParallelSpeedup(b *testing.B) {
 	x, y := benchData(2000)
 	serial := Config{NTrees: 100, Seed: 7, Workers: 1}
 	parallel := Config{NTrees: 100, Seed: 7, Workers: 0}
@@ -70,8 +72,105 @@ func BenchmarkTrainSpeedup(b *testing.B) {
 		})
 		speedup = ts / tp
 	}
-	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(speedup, "parallel_speedup")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+}
+
+// BenchmarkTrainReference is the pre-histogram reference builder on
+// the serial workload — the denominator-free half of the training
+// speedup pair, kept so ns/op for both paths lands in the snapshot.
+func BenchmarkTrainReference(b *testing.B) {
+	x, y := benchData(2000)
+	cfg := Config{NTrees: 100, Seed: 7, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainReference(cfg, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainCompiled is the compiled histogram trainer on the same
+// serial workload. Its allocation count is a deterministic property of
+// the arena/scratch discipline, so the baseline entry gates it.
+func BenchmarkTrainCompiled(b *testing.B) {
+	x, y := benchData(2000)
+	cfg := Config{NTrees: 100, Seed: 7, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(cfg, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainSpeedup times the reference builder against the
+// compiled histogram trainer on identical inputs (both serial, so the
+// ratio measures the representation, not the pool) and reports it as
+// the train_speedup metric; CI gates it with
+// `benchguard -floor train_speedup=2.5`.
+func BenchmarkTrainSpeedup(b *testing.B) {
+	x, y := benchData(2000)
+	cfg := Config{NTrees: 100, Seed: 7, Workers: 1}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		tRef := testingBenchTime(func() {
+			for r := 0; r < 2; r++ {
+				if _, err := trainReference(cfg, x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		tCompiled := testingBenchTime(func() {
+			for r := 0; r < 2; r++ {
+				if _, err := Train(cfg, x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		speedup = tRef / tCompiled
+	}
+	b.ReportMetric(speedup, "train_speedup")
+}
+
+// BenchmarkTrainSplitScan is the steady-state training hot path in
+// isolation: per-feature order building, the split scans of a root
+// node, and one stable partition, on a warm trainer. Its baseline pins
+// allocs/op at 0 — the hard benchguard gate behind the
+// //acclaim:zeroalloc annotations in trainer.go.
+func BenchmarkTrainSplitScan(b *testing.B) {
+	x, y := benchData(2000)
+	cfg := Config{NTrees: 1, Seed: 7, Workers: 1}.withDefaults(len(x[0]))
+	bs := newBinset(len(x), len(x[0]), func(f int, dst []float64) {
+		for i, row := range x {
+			dst[i] = row[f]
+		}
+	})
+	tr := &trainer{bs: bs, y: y, cfg: cfg}
+	boot := make([]int, len(x))
+	for i := range boot {
+		boot[i] = i
+	}
+	tr.fitTree(7, boot) // warm every scratch buffer
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.buildOrders()
+		feat, th, cut, ok := 0, 0.0, int32(0), false
+		for f := 0; f < tr.bs.nf; f++ {
+			if _, t2, c, o := tr.scanFeature(f, 0, tr.nb, 1e18); o {
+				feat, th, cut, ok = f, t2, c, o
+			}
+		}
+		if ok {
+			tr.stablePartition(tr.idx, feat, cut)
+			sink += th
+		}
+	}
+	_ = sink
 }
 
 func benchScore(b *testing.B, batch bool) {

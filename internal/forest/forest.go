@@ -140,43 +140,93 @@ type Forest struct {
 	nFeatures int
 }
 
-// Train fits a forest on X (rows are samples) and y. All rows must have
-// equal length. Training is deterministic for a given Config.Seed: the
-// bootstrap indices and per-tree builder seeds are drawn from the
-// master RNG stream up front, in tree order, exactly as a serial loop
-// would draw them, and only then are the trees grown on the worker
-// pool — so every Workers setting yields a bit-identical forest.
-func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
+// validateRows checks the row-of-slices training input shape and
+// returns the feature count.
+func validateRows(x [][]float64, y []float64) (nf int, err error) {
 	if len(x) == 0 {
-		return nil, errors.New("forest: no training samples")
+		return 0, errors.New("forest: no training samples")
 	}
 	if len(x) != len(y) {
-		return nil, fmt.Errorf("forest: %d samples but %d targets", len(x), len(y))
+		return 0, fmt.Errorf("forest: %d samples but %d targets", len(x), len(y))
 	}
-	nf := len(x[0])
+	nf = len(x[0])
 	if nf == 0 {
-		return nil, errors.New("forest: samples have no features")
+		return 0, errors.New("forest: samples have no features")
 	}
 	for i, row := range x {
 		if len(row) != nf {
-			return nil, fmt.Errorf("forest: row %d has %d features, want %d", i, len(row), nf)
+			return 0, fmt.Errorf("forest: row %d has %d features, want %d", i, len(row), nf)
 		}
 	}
-	cfg = cfg.withDefaults(nf)
-	f := &Forest{cfg: cfg, trees: make([]tree, cfg.NTrees), nFeatures: nf}
+	return nf, nil
+}
 
-	// Pre-draw every tree's random inputs serially from the master
-	// stream. This is O(NTrees·nSamples) cheap RNG calls — negligible
-	// next to tree growth — and is what makes parallel training
-	// reproduce the serial forest bit for bit.
+// Train fits a forest on X (rows are samples) and y. All rows must have
+// equal length and all values must be finite. Training is deterministic
+// for a given Config.Seed: the bootstrap indices and per-tree builder
+// seeds are drawn from the master RNG stream up front, in tree order,
+// exactly as a serial loop would draw them, and only then are the trees
+// grown on the worker pool — so every Workers setting yields a
+// bit-identical forest.
+//
+// Tree growth runs on the compiled histogram trainer (see trainer.go),
+// which is bit-identical to the reference builder kept in this file —
+// FuzzTrainDifferential holds that line.
+func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
+	nf, err := validateRows(x, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(nf)
+	bs := newBinset(len(x), nf, func(f int, dst []float64) {
+		for i, row := range x {
+			dst[i] = row[f]
+		}
+	})
+	return train(cfg, len(x), nf, y, func() fitter {
+		return &trainer{bs: bs, y: y, cfg: cfg}
+	}), nil
+}
+
+// trainReference is the pre-histogram training path: identical
+// validation, pre-draw, and pool, with trees grown by the reference
+// builder. It is the differential oracle FuzzTrainDifferential and the
+// training benchmarks compare the compiled trainer against.
+func trainReference(cfg Config, x [][]float64, y []float64) (*Forest, error) {
+	nf, err := validateRows(x, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(nf)
+	return train(cfg, len(x), nf, y, func() fitter {
+		return &builder{x: x, y: y, cfg: cfg}
+	}), nil
+}
+
+// fitter grows one tree at a time. Train instantiates one fitter per
+// worker goroutine so scratch buffers are reused across the trees that
+// worker grows; the returned arena is retained by the Forest.
+type fitter interface {
+	fitTree(seed int64, boot []int) []node
+}
+
+// train is the shared training loop behind Train, TrainFlat, and
+// trainReference: cfg must already have defaults applied. It pre-draws
+// every tree's random inputs serially from the master stream —
+// O(NTrees·nSamples) cheap RNG calls, negligible next to tree growth —
+// which is what makes parallel training reproduce the serial forest
+// bit for bit at every Workers count.
+func train(cfg Config, nSamples, nFeatures int, y []float64, newFitter func() fitter) *Forest {
+	f := &Forest{cfg: cfg, trees: make([]tree, cfg.NTrees), nFeatures: nFeatures}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	boots := make([][]int, cfg.NTrees)
 	seeds := make([]int64, cfg.NTrees)
-	flat := make([]int, cfg.NTrees*len(x)) // one allocation for all bootstraps
+	flat := make([]int, cfg.NTrees*nSamples) // one allocation for all bootstraps
 	for ti := range boots {
-		idx := flat[ti*len(x) : (ti+1)*len(x)]
+		idx := flat[ti*nSamples : (ti+1)*nSamples]
 		for i := range idx {
-			idx[i] = rng.Intn(len(x))
+			idx[i] = rng.Intn(nSamples)
 		}
 		boots[ti] = idx
 		seeds[ti] = rng.Int63()
@@ -191,13 +241,13 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 	if met != nil {
 		t0 = obs.NowNs()
 	}
-	grow := func(b *builder, ti int) {
+	grow := func(b fitter, ti int) {
 		if met == nil {
-			f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+			f.trees[ti] = tree{nodes: b.fitTree(seeds[ti], boots[ti])}
 			return
 		}
 		s0 := obs.NowNs()
-		f.trees[ti] = tree{nodes: b.build(seeds[ti], boots[ti])}
+		f.trees[ti] = tree{nodes: b.fitTree(seeds[ti], boots[ti])}
 		d := float64(obs.NowNs() - s0)
 		met.TreeFitNs.Observe(d)
 		met.PoolBusyNs.Add(d)
@@ -205,12 +255,12 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 
 	workers := cfg.workers(cfg.NTrees)
 	if workers == 1 {
-		b := &builder{x: x, y: y, cfg: cfg}
+		b := newFitter()
 		for ti := range f.trees {
 			grow(b, ti)
 		}
 		trainDone(met, t0, cfg.NTrees, 1)
-		return f, nil
+		return f
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -218,9 +268,9 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One builder per worker: its scratch buffers are reused
+			// One fitter per worker: its scratch buffers are reused
 			// across every tree the worker grows.
-			b := &builder{x: x, y: y, cfg: cfg}
+			b := newFitter()
 			for {
 				ti := int(next.Add(1)) - 1
 				if ti >= cfg.NTrees {
@@ -232,7 +282,7 @@ func Train(cfg Config, x [][]float64, y []float64) (*Forest, error) {
 	}
 	wg.Wait()
 	trainDone(met, t0, cfg.NTrees, workers)
-	return f, nil
+	return f
 }
 
 // trainDone records the end-of-Train metrics. t0 is the obs.NowNs
@@ -265,6 +315,9 @@ type builder struct {
 	vals []fv  // scratch: sorted (value, target) pairs per split scan
 	part []int // scratch: right-side buffer for stable partition
 }
+
+// fitTree implements fitter; see build.
+func (b *builder) fitTree(seed int64, boot []int) []node { return b.build(seed, boot) }
 
 // build grows one tree from a fresh seed and bootstrap sample and
 // returns its node arena. The arena is freshly allocated per tree (it
@@ -337,14 +390,22 @@ func (b *builder) featurePerm(n int) []int {
 	if cap(b.perm) < n {
 		b.perm = make([]int, n)
 	}
-	m := b.perm[:n]
-	m[0] = 0 // scratch may be dirty; rand.Perm starts from a zeroed slice
-	for i := 1; i < n; i++ {
-		j := b.rng.Intn(i + 1)
-		m[i] = m[j]
-		m[j] = i
+	return fillPerm(b.rng, b.perm[:n], b.cfg.MTry)
+}
+
+// fillPerm overwrites perm with the permutation rand.Perm(len(perm))
+// would produce from the same stream (same Intn call sequence, no
+// allocation) and returns its first mtry entries. Reference builder and
+// compiled trainer share it so both consume the per-tree RNG stream
+// identically — a precondition of their bit-identical splits.
+func fillPerm(rng *rand.Rand, perm []int, mtry int) []int {
+	perm[0] = 0 // scratch may be dirty; rand.Perm starts from a zeroed slice
+	for i := 1; i < len(perm); i++ {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
 	}
-	return m[:b.cfg.MTry]
+	return perm[:mtry]
 }
 
 // bestSplit scans MTry random features for the threshold minimizing the
@@ -362,7 +423,13 @@ func (b *builder) bestSplit(idx []int, parentSSE float64) (feat int, thresh floa
 		for j, i := range idx {
 			vals[j] = fv{b.x[i][f], b.y[i]}
 		}
-		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		// The sort must be stable: equal feature values keep the node's
+		// sample order, which fixes the float-summation order of the
+		// prefix scans below. The compiled trainer reproduces exactly
+		// that order with a stable counting sort over pre-binned
+		// columns, making its SSE arithmetic — and therefore its chosen
+		// splits — bit-identical to this reference path.
+		sort.SliceStable(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
 		// Prefix sums let each candidate threshold be scored in O(1).
 		var sumL, sumSqL float64
 		var sumR, sumSqR float64

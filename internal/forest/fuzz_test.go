@@ -5,6 +5,67 @@ import (
 	"testing"
 )
 
+// FuzzTrainDifferential proves the compiled histogram trainer is
+// bit-identical to the reference builder: for arbitrary
+// hyperparameters and data (derived deterministically from the fuzzed
+// inputs, with a duplicate-heavy mode that floods nodes with tied
+// feature values), trainReference and Train must produce node-for-node
+// equal forests — and Train must produce that same forest at every
+// worker count. This is the training-side mirror of
+// FuzzCompiledDifferential, and the proof obligation behind swapping
+// the trainer in as Train's default path.
+//
+// Seeded corpus below; CI runs this target for 30s per push (the
+// fuzz-smoke job).
+func FuzzTrainDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(4), uint8(1), uint8(40), false)
+	f.Add(int64(9), uint8(6), uint8(3), uint8(2), uint8(90), true) // tie-heavy, MTry<nf
+	f.Add(int64(-5), uint8(1), uint8(1), uint8(1), uint8(2), true) // single stump, 2 samples
+	f.Add(int64(77), uint8(5), uint8(6), uint8(9), uint8(70), false)
+	f.Fuzz(func(t *testing.T, seed int64, nTrees, depth, minLeaf, nSamples uint8, discrete bool) {
+		nt := int(nTrees)%8 + 1
+		md := int(depth)%6 + 1
+		ml := int(minLeaf)%5 + 1
+		ns := int(nSamples)%120 + 1
+		nf := int(seed&3) + 2               // 2-5 features
+		mtry := (int(seed>>2)%nf+nf)%nf + 1 // 1..nf, negative seeds included
+
+		rng := rand.New(rand.NewSource(seed))
+		x := make([][]float64, ns)
+		y := make([]float64, ns)
+		for i := range x {
+			row := make([]float64, nf)
+			for j := range row {
+				if discrete {
+					row[j] = float64(rng.Intn(4)) // heavy ties exercise stable order
+				} else {
+					row[j] = rng.NormFloat64() * 10
+				}
+			}
+			x[i] = row
+			y[i] = row[0] - row[1%nf]*0.5 + rng.NormFloat64()
+		}
+
+		cfg := Config{NTrees: nt, MaxDepth: md, MinLeaf: ml, MTry: mtry, Seed: seed, Workers: 1}
+		want, err := trainReference(cfg, x, y)
+		if err != nil {
+			t.Fatalf("training the reference forest: %v", err)
+		}
+		for _, workers := range []int{1, 2, 5, 13} {
+			c := cfg
+			c.Workers = workers
+			got, err := Train(c, x, y)
+			if err != nil {
+				t.Fatalf("training the compiled forest (workers=%d): %v", workers, err)
+			}
+			if !forestsIdentical(want, got) {
+				t.Fatalf("compiled trainer differs from reference builder at Workers=%d (nt=%d md=%d ml=%d mtry=%d ns=%d nf=%d discrete=%v)",
+					workers, nt, md, ml, mtry, ns, nf, discrete)
+			}
+		}
+	})
+}
+
 // FuzzCompiledDifferential proves Forest.Compile is observationally
 // identical to the reference pointer-walk path: for an arbitrary
 // trained forest (hyperparameters and data derived deterministically

@@ -1,0 +1,308 @@
+package forest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"acclaim/internal/featspace"
+)
+
+// trainerData builds a dataset with deliberately duplicate-heavy
+// columns: feature values are drawn from small integer grids, so nodes
+// are full of ties and the stable-order contract between the reference
+// sort and the trainer's counting sort actually carries weight.
+func trainerData(seed int64, n, nf int) (x [][]float64, y []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = float64(rng.Intn(6)) // 6 distinct values per feature
+		}
+		x[i] = row
+		y[i] = row[0]*2 - row[nf-1] + rng.NormFloat64()*0.3
+	}
+	return x, y
+}
+
+// TestTrainerMatchesReference is the serial form of the differential
+// contract: on tie-heavy data and across hyperparameter corners, the
+// compiled trainer's forest equals the reference builder's node for
+// node.
+func TestTrainerMatchesReference(t *testing.T) {
+	x, y := trainerData(101, 250, 4)
+	for _, cfg := range []Config{
+		{Seed: 1, NTrees: 9},
+		{Seed: 2, NTrees: 5, MaxDepth: 3},
+		{Seed: 3, NTrees: 7, MinLeaf: 7},
+		{Seed: 4, NTrees: 6, MTry: 1},
+		{Seed: 5, NTrees: 4, MTry: 2, MaxDepth: 5, MinLeaf: 2},
+	} {
+		cfg.Workers = 1
+		want, err := trainReference(cfg, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Train(cfg, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !forestsIdentical(want, got) {
+			t.Errorf("cfg %+v: compiled trainer differs from reference builder", cfg)
+		}
+	}
+}
+
+// TestTrainerConstantTargets: constant-target columns make every
+// node's SSE zero, so growth must stop at the root of every tree (the
+// sse <= 1e-12 bail), matching the reference exactly.
+func TestTrainerConstantTargets(t *testing.T) {
+	x, _ := trainerData(7, 80, 3)
+	y := make([]float64, len(x))
+	for i := range y {
+		y[i] = -2.5
+	}
+	cfg := Config{Seed: 11, NTrees: 6, Workers: 1}
+	want, _ := trainReference(cfg, x, y)
+	got, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forestsIdentical(want, got) {
+		t.Fatal("constant-target forests differ")
+	}
+	for _, tr := range got.trees {
+		if len(tr.nodes) != 1 || tr.nodes[0].value != -2.5 {
+			t.Fatalf("constant-target tree = %+v, want single leaf at -2.5", tr.nodes)
+		}
+	}
+}
+
+// TestTrainerSingleSample: a one-row training set means every
+// bootstrap is that single sample — the len(idx) < 2*MinLeaf bail on
+// a one-element node.
+func TestTrainerSingleSample(t *testing.T) {
+	x := [][]float64{{1.5, -3}}
+	y := []float64{42}
+	cfg := Config{Seed: 13, NTrees: 5, Workers: 1}
+	want, _ := trainReference(cfg, x, y)
+	got, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forestsIdentical(want, got) {
+		t.Fatal("single-sample forests differ")
+	}
+	if p := got.Predict([]float64{0, 0}); p != 42 {
+		t.Errorf("single-sample prediction = %v, want 42", p)
+	}
+}
+
+// TestTrainerAllEqualFeature: a feature whose values are all equal has
+// one bin and no candidate boundary — the "cannot split between equal
+// values" branch. With MTry=1 some splits draw only that feature and
+// must fall back to a leaf, exactly as the reference does.
+func TestTrainerAllEqualFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 120
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{3.75, float64(rng.Intn(4))} // feature 0 is constant
+		y[i] = x[i][1] + rng.NormFloat64()*0.1
+	}
+	cfg := Config{Seed: 19, NTrees: 8, MTry: 1, Workers: 1}
+	want, _ := trainReference(cfg, x, y)
+	got, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forestsIdentical(want, got) {
+		t.Fatal("all-equal-feature forests differ")
+	}
+	for _, tr := range got.trees {
+		for _, nd := range tr.nodes {
+			if nd.left != -1 && nd.feature == 0 {
+				t.Fatal("tree split on a constant feature")
+			}
+		}
+	}
+}
+
+// TestTrainerWorkerCounts pins the Workers-independence contract on
+// the compiled path itself (the fuzz target additionally compares
+// against the reference).
+func TestTrainerWorkerCounts(t *testing.T) {
+	x, y := trainerData(23, 300, 5)
+	cfg := Config{Seed: 29, NTrees: 12, MTry: 3}
+	cfg.Workers = 1
+	want, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 7, 16} {
+		c := cfg
+		c.Workers = w
+		got, err := Train(c, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !forestsIdentical(want, got) {
+			t.Fatalf("Workers=%d forest differs from Workers=1", w)
+		}
+	}
+}
+
+// TestTrainSharedRace exercises the shared read-only binset from many
+// trainer goroutines at once — concurrent Train calls on the same
+// rows, each with a multi-worker pool. Run under -race in CI, it
+// proves the trainer's sharing discipline: binset immutable, all
+// scratch goroutine-local.
+func TestTrainSharedRace(t *testing.T) {
+	x, y := trainerData(31, 200, 4)
+	var wg sync.WaitGroup
+	forests := make([]*Forest, 6)
+	for g := range forests {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f, err := Train(Config{Seed: 37, NTrees: 10, Workers: 4}, x, y)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			forests[g] = f
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(forests); g++ {
+		if !forestsIdentical(forests[0], forests[g]) {
+			t.Fatalf("concurrent Train call %d produced a different forest", g)
+		}
+	}
+}
+
+// TestTrainFlatMatchesTrain: the flat entry points train the same
+// forest as the row-of-slices API on equivalent data.
+func TestTrainFlatMatchesTrain(t *testing.T) {
+	x, y := trainerData(41, 150, featspace.NumFeatures)
+	cfg := Config{Seed: 43, NTrees: 8, Workers: 1}
+	want, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flat := make([]float64, 0, len(x)*featspace.NumFeatures)
+	var m featspace.Matrix
+	for _, row := range x {
+		flat = append(flat, row...)
+		m.AppendRow(row...)
+	}
+	got, err := TrainFlat(cfg, flat, featspace.NumFeatures, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forestsIdentical(want, got) {
+		t.Fatal("TrainFlat forest differs from Train")
+	}
+	got2, err := TrainMatrix(cfg, &m, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forestsIdentical(want, got2) {
+		t.Fatal("TrainMatrix forest differs from Train")
+	}
+}
+
+func TestTrainFlatValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		x    []float64
+		cols int
+		y    []float64
+	}{
+		{"zero cols", []float64{1, 2}, 0, []float64{1}},
+		{"ragged flat", []float64{1, 2, 3}, 2, []float64{1}},
+		{"empty", nil, 2, nil},
+		{"target mismatch", []float64{1, 2, 3, 4}, 2, []float64{1, 2, 3}},
+	} {
+		if _, err := TrainFlat(Config{}, tc.x, tc.cols, tc.y); err == nil {
+			t.Errorf("%s: TrainFlat accepted invalid input", tc.name)
+		}
+	}
+}
+
+// TestBinsetRoundTrip: bins are value ranks, edges recover the value.
+func TestBinsetRoundTrip(t *testing.T) {
+	x, _ := trainerData(47, 90, 3)
+	bs := newBinset(len(x), 3, func(f int, dst []float64) {
+		for i, row := range x {
+			dst[i] = row[f]
+		}
+	})
+	for f := 0; f < 3; f++ {
+		edges := bs.edges[f]
+		for j := 1; j < len(edges); j++ {
+			if edges[j] <= edges[j-1] {
+				t.Fatalf("feature %d edges not strictly increasing: %v", f, edges)
+			}
+		}
+		for i, row := range x {
+			if got := edges[bs.bins[f*bs.n+i]]; got != row[f] {
+				t.Fatalf("feature %d sample %d: edges[bin] = %v, value = %v", f, i, got, row[f])
+			}
+		}
+	}
+}
+
+// TestTrainerSteadyStateZeroAlloc is the runtime gate behind the
+// //acclaim:zeroalloc annotations in trainer.go: once scratch is
+// warmed (ensure + one tree grown), order building, split scanning,
+// and partitioning allocate nothing.
+func TestTrainerSteadyStateZeroAlloc(t *testing.T) {
+	x, y := trainerData(53, 220, 4)
+	cfg := Config{Seed: 59, NTrees: 1, Workers: 1}.withDefaults(4)
+	bs := newBinset(len(x), 4, func(f int, dst []float64) {
+		for i, row := range x {
+			dst[i] = row[f]
+		}
+	})
+	tr := &trainer{bs: bs, y: y, cfg: cfg}
+	boot := make([]int, len(x))
+	for i := range boot {
+		boot[i] = i
+	}
+	tr.fitTree(61, boot) // warm every scratch buffer
+
+	if n := testing.AllocsPerRun(100, func() { tr.buildOrders() }); n != 0 {
+		t.Errorf("buildOrders allocates %v times per run, want 0", n)
+	}
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		_, th, _, _ := t2ScanAll(tr)
+		sink += th
+	}); n != 0 {
+		t.Errorf("scanFeature allocates %v times per run, want 0", n)
+	}
+	_ = sink
+	cut := int32(2)
+	if n := testing.AllocsPerRun(100, func() {
+		tr.stablePartition(tr.idx, 0, cut)
+	}); n != 0 {
+		t.Errorf("stablePartition allocates %v times per run, want 0", n)
+	}
+}
+
+// t2ScanAll drives scanFeature over every feature of the warm trainer's
+// root node (helper for the allocation gate; the return values keep
+// the call from being optimized away).
+func t2ScanAll(tr *trainer) (feat int, thresh float64, cut int32, ok bool) {
+	for f := 0; f < tr.bs.nf; f++ {
+		if _, th, c, o := tr.scanFeature(f, 0, tr.nb, 1e18); o {
+			feat, thresh, cut, ok = f, th, c, o
+		}
+	}
+	return feat, thresh, cut, ok
+}

@@ -50,6 +50,9 @@ var zeroAllocManifest = map[string][]string{
 		"Kernel.scoreBlock",
 		"Kernel.walk",
 		"Kernel.walkLevels",
+		"trainer.buildOrders",
+		"trainer.scanFeature",
+		"trainer.stablePartition",
 	},
 }
 
