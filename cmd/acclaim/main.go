@@ -10,6 +10,8 @@
 //
 //	acclaim -nodes 32 -ppn 4 [-app LAMMPS | -collectives bcast,allreduce]
 //	        [-out tuned.json] [-seed N] [-maxmsg bytes] [-run-report report.json]
+//	        [-topology dragonfly|fat-tree|torus]
+//	        [-scenario baseline|degraded-links|congestion-storm|hetero-nodes]
 //
 // The whole pipeline is instrumented through internal/obs: every
 // tuning round emits fit/score/pick/collect spans, and the forest,
@@ -53,6 +55,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "job seed (allocation + environment)")
 		maxMsg    = flag.Int("maxmsg", 1<<20, "maximum tuned message size in bytes")
 		runReport = flag.String("run-report", "", "write the tuning run's span timeline, convergence series, and metric snapshot to this JSON file")
+		topoName  = flag.String("topology", "dragonfly", "interconnect topology: dragonfly, fat-tree, or torus")
+		scenario  = flag.String("scenario", "baseline", "environment scenario: baseline, degraded-links, congestion-storm, or hetero-nodes")
 	)
 	flag.Parse()
 
@@ -74,14 +78,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	env := netmodel.SampleEnv(rng, alloc)
-	fmt.Printf("allocation: %d nodes across %d racks (%d pairs), latency factor %.2f\n",
-		alloc.Size(), alloc.RackSpan(), alloc.PairSpan(), env.LatencyFactor)
+	topo, err := netmodel.TopologyByName(*topoName, machine)
+	if err != nil {
+		fatal(err)
+	}
+	scen, err := benchmark.ParseScenario(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	env := scen.Apply(netmodel.SampleEnv(rng, alloc))
+	fmt.Printf("allocation: %d nodes across %d racks (%d pairs), %s topology, %v scenario, latency factor %.2f\n",
+		alloc.Size(), alloc.RackSpan(), alloc.PairSpan(), topo.Name(), scen, env.LatencyFactor)
 
 	runner, err := benchmark.NewRunner(netmodel.DefaultParams(), env, alloc, benchmark.Config{Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
+	runner.Topology = topo
 	runner.Metrics = benchmark.NewMetrics(reg)
 
 	// --- Training: ACCLAiM with parallel wave collection.
@@ -119,6 +132,8 @@ func main() {
 	// --- Observability report: per-phase breakdown table now, full
 	// JSON (spans + convergence series + metrics) on request.
 	report := core.BuildRunReport("theta-sim", results, trace, reg)
+	report.Topology = topo.Name()
+	report.Scenario = scen.String()
 	if err := report.WriteSummary(os.Stdout); err != nil {
 		fatal(err)
 	}

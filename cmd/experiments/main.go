@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"acclaim/internal/benchmark"
 	"acclaim/internal/coll"
 	"acclaim/internal/experiments"
 	"acclaim/internal/featspace"
@@ -34,8 +35,21 @@ func main() {
 		seed  = flag.Int64("seed", 42, "experiment seed")
 		nodes = flag.Int("nodes", 32, "production node count for figure 14 (paper: 128)")
 		ppn   = flag.Int("ppn", 4, "production max ppn for figure 14 (paper: 16)")
+
+		matrix      = flag.Bool("matrix", false, "run the scenario matrix instead of paper figures")
+		matrixColls = flag.String("matrix-collectives", "", "comma-separated collectives for -matrix (default: all)")
+		matrixTopos = flag.String("matrix-topologies", "", "comma-separated topologies for -matrix (default: all)")
+		matrixScens = flag.String("matrix-scenarios", "", "comma-separated scenarios for -matrix (default: all)")
+		msg         = flag.Int("msg", 4096, "message size in bytes for -matrix")
 	)
 	flag.Parse()
+
+	if *matrix {
+		if err := runMatrix(*matrixColls, *matrixTopos, *matrixScens, *nodes, *ppn, *msg, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	want := map[int]bool{}
 	if *fig == "all" {
@@ -188,6 +202,47 @@ func main() {
 		rows := experiments.Fig15(prodTotal, nil)
 		return experiments.ReportFig15(rows, prodTotal), nil
 	})
+}
+
+// runMatrix parses the -matrix-* lists and prints the scenario matrix.
+func runMatrix(collList, topoList, scenList string, nodes, ppn, msg int, seed int64) error {
+	var colls []coll.Collective
+	for _, name := range splitList(collList) {
+		c, err := coll.ParseCollective(name)
+		if err != nil {
+			return err
+		}
+		colls = append(colls, c)
+	}
+	topos := splitList(topoList)
+	var scens []benchmark.Scenario
+	for _, name := range splitList(scenList) {
+		s, err := benchmark.ParseScenario(name)
+		if err != nil {
+			return err
+		}
+		scens = append(scens, s)
+	}
+	start := time.Now()
+	results, err := experiments.ScenarioMatrix(colls, topos, scens, nodes, ppn, msg, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.ReportScenarioMatrix(results))
+	fmt.Fprintf(os.Stderr, "[scenario matrix: %d cells in %v]\n", len(results), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// splitList splits a comma-separated flag, mapping "" to nil (= all).
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func fatal(err error) {

@@ -105,6 +105,11 @@ type Runner struct {
 	Alloc  cluster.Allocation
 	Config Config
 
+	// Topology, when non-nil, prices every benchmark on that
+	// interconnect instead of the allocation machine's default
+	// Dragonfly — the scenario matrix sets it per cell.
+	Topology netmodel.Topology
+
 	// RackShareFactor inflates runs that illegally share a rack; used
 	// only when a wave violates the scheduler's constraints (ablations).
 	RackShareFactor float64
@@ -178,7 +183,7 @@ func (r *Runner) baseTime(spec Spec, idx []int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	model, err := netmodel.New(r.Params, r.Env, sub, spec.Point.PPN)
+	model, err := netmodel.NewWithTopology(r.Params, r.Env, sub, spec.Point.PPN, r.Topology)
 	if err != nil {
 		return 0, err
 	}

@@ -82,7 +82,7 @@ func newBufLike(ref simmpi.Buf, n int) simmpi.Buf {
 
 // execAllgather runs one allgather algorithm (msgBytes is the per-rank
 // block size, OSU convention) and verifies every rank's result.
-func execAllgather(model *netmodel.Model, alg string, msgBytes int, opts Options) (simmpi.Result, error) {
+func execAllgather(model *netmodel.Model, alg string, msgBytes int, opts Options) ([]simmpi.Buf, simmpi.Result, error) {
 	n := model.Ranks()
 	outs := make([]simmpi.Buf, n)
 	res, err := simmpi.Run(model, func(c *simmpi.Comm) {
@@ -102,7 +102,7 @@ func execAllgather(model *netmodel.Model, alg string, msgBytes int, opts Options
 		outs[c.Rank()] = out
 	})
 	if err != nil {
-		return res, err
+		return nil, res, err
 	}
 	if opts.WithData {
 		want := make([]byte, n*msgBytes)
@@ -113,9 +113,9 @@ func execAllgather(model *netmodel.Model, alg string, msgBytes int, opts Options
 		}
 		for r := 0; r < n; r++ {
 			if err := verifyEqual(outs[r], want, "allgather", r); err != nil {
-				return res, err
+				return outs, res, err
 			}
 		}
 	}
-	return res, nil
+	return outs, res, nil
 }

@@ -74,7 +74,7 @@ func allreduceReduceScatterAllgather(c *simmpi.Comm, vec simmpi.Buf, op simmpi.O
 
 // execAllreduce runs one allreduce algorithm and verifies every rank's
 // result.
-func execAllreduce(model *netmodel.Model, alg string, msgBytes int, opts Options) (simmpi.Result, error) {
+func execAllreduce(model *netmodel.Model, alg string, msgBytes int, opts Options) ([]simmpi.Buf, simmpi.Result, error) {
 	n := model.Ranks()
 	outs := make([]simmpi.Buf, n)
 	res, err := simmpi.Run(model, func(c *simmpi.Comm) {
@@ -92,15 +92,15 @@ func execAllreduce(model *netmodel.Model, alg string, msgBytes int, opts Options
 		outs[c.Rank()] = out
 	})
 	if err != nil {
-		return res, err
+		return nil, res, err
 	}
 	if opts.WithData {
 		want := expectedReduction(n, msgBytes, opts.Op)
 		for r := 0; r < n; r++ {
 			if err := verifyEqual(outs[r], want, "allreduce", r); err != nil {
-				return res, err
+				return outs, res, err
 			}
 		}
 	}
-	return res, nil
+	return outs, res, nil
 }

@@ -63,7 +63,7 @@ func bcastScatterRingAllgather(c *simmpi.Comm, root int, out simmpi.Buf) {
 
 // execBcast runs one bcast algorithm over all ranks and verifies that
 // every rank ends with the root's buffer.
-func execBcast(model *netmodel.Model, alg string, msgBytes int, opts Options) (simmpi.Result, error) {
+func execBcast(model *netmodel.Model, alg string, msgBytes int, opts Options) ([]simmpi.Buf, simmpi.Result, error) {
 	n := model.Ranks()
 	outs := make([]simmpi.Buf, n)
 	res, err := simmpi.Run(model, func(c *simmpi.Comm) {
@@ -84,7 +84,7 @@ func execBcast(model *netmodel.Model, alg string, msgBytes int, opts Options) (s
 		outs[c.Rank()] = out
 	})
 	if err != nil {
-		return res, err
+		return nil, res, err
 	}
 	if opts.WithData {
 		want := make([]byte, msgBytes)
@@ -93,9 +93,9 @@ func execBcast(model *netmodel.Model, alg string, msgBytes int, opts Options) (s
 		}
 		for r := 0; r < n; r++ {
 			if err := verifyEqual(outs[r], want, "bcast", r); err != nil {
-				return res, err
+				return outs, res, err
 			}
 		}
 	}
-	return res, nil
+	return outs, res, nil
 }

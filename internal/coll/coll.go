@@ -1,7 +1,11 @@
-// Package coll implements the ten MPICH collective algorithms studied in
-// the ACCLAiM paper, across the four most popular collectives on
+// Package coll implements MPICH collective algorithms over the simmpi
+// virtual-time runtime. The core set is the ten algorithms studied in
+// the ACCLAiM paper across the four most popular collectives on
 // production systems (Chunduri et al.): MPI_Allgather, MPI_Allreduce,
-// MPI_Bcast, and MPI_Reduce.
+// MPI_Bcast, and MPI_Reduce. The scenario-diversity extension adds
+// MPI_Alltoall, MPI_Reduce_scatter, MPI_Gather, and MPI_Scatter with
+// their standard MPICH schedules, registered through the same seams so
+// every autotuner picks them up without special cases.
 //
 // Every algorithm is written once against the simmpi virtual-time
 // runtime and therefore yields both a simulated execution time and real
@@ -21,12 +25,19 @@ import (
 // Collective identifies one MPI collective operation.
 type Collective int
 
-// The four collectives, in the paper's alphabetical presentation order.
+// The paper's four collectives first, in its alphabetical presentation
+// order, then the scenario-diversity additions. Only append here: the
+// enum value is baked into dense per-collective arrays and saved
+// datasets, so reordering would silently remap them.
 const (
 	Allgather Collective = iota
 	Allreduce
 	Bcast
 	Reduce
+	Alltoall
+	ReduceScatter
+	Gather
+	Scatter
 	numCollectives
 )
 
@@ -41,6 +52,14 @@ func (c Collective) String() string {
 		return "bcast"
 	case Reduce:
 		return "reduce"
+	case Alltoall:
+		return "alltoall"
+	case ReduceScatter:
+		return "reduce_scatter"
+	case Gather:
+		return "gather"
+	case Scatter:
+		return "scatter"
 	default:
 		return fmt.Sprintf("Collective(%d)", int(c))
 	}
@@ -62,18 +81,34 @@ func ParseCollective(s string) (Collective, error) {
 // indexed by the enum (the rule-serving hot path does).
 const NumCollectives = int(numCollectives)
 
-// Collectives returns all four collectives in stable order.
+// Collectives returns all collectives in stable (enum) order.
 func Collectives() []Collective {
+	cs := make([]Collective, NumCollectives)
+	for i := range cs {
+		cs[i] = Collective(i)
+	}
+	return cs
+}
+
+// PaperCollectives returns the four collectives the ACCLAiM paper
+// studies, in its presentation order. The figure reproductions in
+// internal/experiments enumerate these; everything else (tuning,
+// datasets, rule serving) covers Collectives().
+func PaperCollectives() []Collective {
 	return []Collective{Allgather, Allreduce, Bcast, Reduce}
 }
 
 // algorithmNames fixes the per-collective algorithm order; the position
 // of a name is its "algorithm" feature value in the ML models.
 var algorithmNames = map[Collective][]string{
-	Allgather: {"recursive_doubling", "ring", "brucks"},
-	Allreduce: {"recursive_doubling", "reduce_scatter_allgather"},
-	Bcast:     {"binomial", "scatter_recursive_doubling_allgather", "scatter_ring_allgather"},
-	Reduce:    {"binomial", "scatter_gather"},
+	Allgather:     {"recursive_doubling", "ring", "brucks"},
+	Allreduce:     {"recursive_doubling", "reduce_scatter_allgather"},
+	Bcast:         {"binomial", "scatter_recursive_doubling_allgather", "scatter_ring_allgather"},
+	Reduce:        {"binomial", "scatter_gather"},
+	Alltoall:      {"brucks", "pairwise", "scattered"},
+	ReduceScatter: {"recursive_halving", "pairwise_exchange"},
+	Gather:        {"binomial", "linear"},
+	Scatter:       {"binomial", "linear"},
 }
 
 // AlgorithmNames returns the algorithm names of a collective in stable
@@ -84,8 +119,9 @@ func AlgorithmNames(c Collective) []string { return algorithmNames[c] }
 func NumAlgorithms(c Collective) int { return len(algorithmNames[c]) }
 
 // TotalAlgorithms is the number of (collective, algorithm) pairs: the
-// "total of 10 algorithms" the paper considers.
-const TotalAlgorithms = 10
+// paper's "total of 10 algorithms" plus the nine schedules of the four
+// scenario-diversity collectives.
+const TotalAlgorithms = 19
 
 // AlgIndex returns the feature index of an algorithm name.
 func AlgIndex(c Collective, name string) (int, bool) {
@@ -95,6 +131,29 @@ func AlgIndex(c Collective, name string) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Rooted reports whether the collective takes a root rank (bcast,
+// reduce, gather, scatter). The table-driven property suite uses it to
+// decide which collectives to sweep over roots.
+func Rooted(c Collective) bool {
+	switch c {
+	case Bcast, Reduce, Gather, Scatter:
+		return true
+	default:
+		return false
+	}
+}
+
+// Reducing reports whether the collective applies a reduction operator
+// (allreduce, reduce, reduce_scatter), i.e. whether Options.Op matters.
+func Reducing(c Collective) bool {
+	switch c {
+	case Allreduce, Reduce, ReduceScatter:
+		return true
+	default:
+		return false
+	}
 }
 
 // inputByte is the deterministic test pattern: the i-th byte of rank r's
@@ -119,10 +178,13 @@ type Options struct {
 }
 
 // Exec runs the named algorithm of a collective over the model's ranks
-// with the given message size (OSU convention: the per-rank contribution
-// for allgather, the full buffer otherwise) and returns the simulated
-// result. With opts.WithData it also verifies the collective's
-// postcondition and returns an error on any mismatch.
+// with the given message size and returns the simulated result. msgBytes
+// follows the OSU convention: the per-rank contribution for allgather,
+// gather, and scatter, the per-destination block for alltoall, and the
+// full vector for the reductions (reduce_scatter splits that vector into
+// ceilSegments, so reduce_scatter ≡ reduce + scatterv). With
+// opts.WithData it also verifies the collective's postcondition and
+// returns an error on any mismatch.
 func Exec(model *netmodel.Model, c Collective, alg string, msgBytes int, opts Options) (simmpi.Result, error) {
 	if msgBytes < 1 {
 		return simmpi.Result{}, errors.New("coll: message size must be >= 1")
@@ -137,6 +199,17 @@ func Exec(model *netmodel.Model, c Collective, alg string, msgBytes int, opts Op
 	if _, ok := AlgIndex(c, alg); !ok {
 		return simmpi.Result{}, fmt.Errorf("coll: collective %v has no algorithm %q", c, alg)
 	}
+	_, res, err := execOutputs(model, c, alg, msgBytes, opts)
+	return res, err
+}
+
+// execOutputs dispatches to the per-collective harness, returning every
+// rank's output buffer alongside the simulated result. The outputs are
+// the seam the differential property and fuzz tests compare across
+// independent schedules of the same collective; Exec discards them.
+// For the single-receiver collectives (reduce, gather) only the root's
+// output is meaningful.
+func execOutputs(model *netmodel.Model, c Collective, alg string, msgBytes int, opts Options) ([]simmpi.Buf, simmpi.Result, error) {
 	switch c {
 	case Bcast:
 		return execBcast(model, alg, msgBytes, opts)
@@ -146,8 +219,16 @@ func Exec(model *netmodel.Model, c Collective, alg string, msgBytes int, opts Op
 		return execAllreduce(model, alg, msgBytes, opts)
 	case Allgather:
 		return execAllgather(model, alg, msgBytes, opts)
+	case Alltoall:
+		return execAlltoall(model, alg, msgBytes, opts)
+	case ReduceScatter:
+		return execReduceScatter(model, alg, msgBytes, opts)
+	case Gather:
+		return execGather(model, alg, msgBytes, opts)
+	case Scatter:
+		return execScatter(model, alg, msgBytes, opts)
 	default:
-		return simmpi.Result{}, fmt.Errorf("coll: unknown collective %v", c)
+		return nil, simmpi.Result{}, fmt.Errorf("coll: unknown collective %v", c)
 	}
 }
 

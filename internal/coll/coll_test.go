@@ -59,7 +59,7 @@ func TestMultiPPNCorrect(t *testing.T) {
 
 // TestNonRootZero checks rooted collectives with a non-zero root.
 func TestNonRootZero(t *testing.T) {
-	for _, c := range []Collective{Bcast, Reduce} {
+	for _, c := range []Collective{Bcast, Reduce, Gather, Scatter} {
 		for _, alg := range AlgorithmNames(c) {
 			for _, root := range []int{1, 5, 6} {
 				model := modelFor(t, 7, 1)
@@ -74,7 +74,7 @@ func TestNonRootZero(t *testing.T) {
 // TestAllOps checks reductions under every operator.
 func TestAllOps(t *testing.T) {
 	for _, op := range []simmpi.Op{simmpi.OpSum, simmpi.OpMax, simmpi.OpXor} {
-		for _, c := range []Collective{Allreduce, Reduce} {
+		for _, c := range []Collective{Allreduce, Reduce, ReduceScatter} {
 			for _, alg := range AlgorithmNames(c) {
 				model := modelFor(t, 6, 1)
 				if _, err := Exec(model, c, alg, 40, Options{WithData: true, Op: op}); err != nil {
@@ -272,7 +272,7 @@ func TestRegistry(t *testing.T) {
 		}
 	}
 	if total != TotalAlgorithms {
-		t.Errorf("total algorithms = %d, want %d (the paper's 10)", total, TotalAlgorithms)
+		t.Errorf("total algorithms = %d, want %d (the paper's 10 plus the 9 scenario-diversity schedules)", total, TotalAlgorithms)
 	}
 }
 
@@ -283,7 +283,7 @@ func TestParseCollective(t *testing.T) {
 			t.Errorf("ParseCollective(%s) = %v, %v", c, got, err)
 		}
 	}
-	if _, err := ParseCollective("gather"); err == nil {
+	if _, err := ParseCollective("barrier"); err == nil {
 		t.Error("unknown collective should fail to parse")
 	}
 }

@@ -120,7 +120,7 @@ func reduceScatterGather(c *simmpi.Comm, root int, vec simmpi.Buf, op simmpi.Op)
 }
 
 // execReduce runs one reduce algorithm and verifies the root's result.
-func execReduce(model *netmodel.Model, alg string, msgBytes int, opts Options) (simmpi.Result, error) {
+func execReduce(model *netmodel.Model, alg string, msgBytes int, opts Options) ([]simmpi.Buf, simmpi.Result, error) {
 	n := model.Ranks()
 	outs := make([]simmpi.Buf, n)
 	res, err := simmpi.Run(model, func(c *simmpi.Comm) {
@@ -138,13 +138,13 @@ func execReduce(model *netmodel.Model, alg string, msgBytes int, opts Options) (
 		outs[c.Rank()] = out
 	})
 	if err != nil {
-		return res, err
+		return nil, res, err
 	}
 	if opts.WithData {
 		want := expectedReduction(n, msgBytes, opts.Op)
 		if err := verifyEqual(outs[opts.Root], want, "reduce", opts.Root); err != nil {
-			return res, err
+			return outs, res, err
 		}
 	}
-	return res, nil
+	return outs, res, nil
 }

@@ -220,15 +220,15 @@ func TestTuneAllAndRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("results = %d collectives", len(results))
+	if len(results) != coll.NumCollectives {
+		t.Fatalf("results = %d collectives, want %d", len(results), coll.NumCollectives)
 	}
 	file, err := tuner.BuildRulesFile(results, "sim")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(file.Tables) != 4 {
-		t.Fatalf("tables = %d", len(file.Tables))
+	if len(file.Tables) != coll.NumCollectives {
+		t.Fatalf("tables = %d, want %d", len(file.Tables), coll.NumCollectives)
 	}
 	// Every table answers every query, including non-P2 ones.
 	for _, c := range coll.Collectives() {

@@ -26,6 +26,8 @@ const RunReportSchema = "acclaim.run_report/v1"
 type RunReport struct {
 	Schema      string             `json:"schema"`
 	Machine     string             `json:"machine"`
+	Topology    string             `json:"topology,omitempty"` // interconnect the run was priced on
+	Scenario    string             `json:"scenario,omitempty"` // environment scenario of the run
 	Collectives []CollectiveReport `json:"collectives"`
 	Metrics     map[string]any     `json:"metrics,omitempty"`
 	Spans       []obs.Span         `json:"spans,omitempty"`

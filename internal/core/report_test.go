@@ -9,8 +9,12 @@ import (
 	"strings"
 	"testing"
 
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
 	"acclaim/internal/coll"
 	"acclaim/internal/forest"
+	"acclaim/internal/netmodel"
 	"acclaim/internal/obs"
 )
 
@@ -151,13 +155,14 @@ func TestRunReportShape(t *testing.T) {
 	}
 }
 
-// TestRunReportGolden pins the full -run-report JSON byte-for-byte. The
-// tuning run is deterministic (seeded simulator, bit-identical forests,
-// tick trace clock), except for host-clock metrics — every registry key
-// ending in `_ns` (the naming convention reserves that suffix for host
-// nanoseconds) is replaced with a placeholder before comparison.
-func TestRunReportGolden(t *testing.T) {
-	rep := runReport(t)
+// checkReportGolden pins a run report's JSON byte-for-byte against
+// testdata/<name>. The tuning runs are deterministic (seeded simulator,
+// bit-identical forests, tick trace clock), except for host-clock
+// metrics — every registry key ending in `_ns` (the naming convention
+// reserves that suffix for host nanoseconds) is replaced with a
+// placeholder before comparison.
+func checkReportGolden(t *testing.T, rep *RunReport, name string) {
+	t.Helper()
 	raw, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)
@@ -186,7 +191,7 @@ func TestRunReportGolden(t *testing.T) {
 	}
 	got = append(got, '\n')
 
-	path := filepath.Join("testdata", "run_report.golden.json")
+	path := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -200,8 +205,41 @@ func TestRunReportGolden(t *testing.T) {
 		t.Fatalf("%v (run with -update to regenerate)", err)
 	}
 	if !bytes.Equal(got, want) {
-		t.Errorf("run report differs from golden (run with -update to regenerate)\ngot %d bytes, want %d", len(got), len(want))
+		t.Errorf("%s differs from golden (run with -update to regenerate)\ngot %d bytes, want %d", name, len(got), len(want))
 	}
+}
+
+func TestRunReportGolden(t *testing.T) {
+	checkReportGolden(t, runReport(t), "run_report.golden.json")
+}
+
+// TestRunReportGoldenFatTree pins the report of a scenario-diversity
+// cell: gather tuned on the fat-tree interconnect, with the topology
+// and scenario fields populated the way cmd/acclaim's -run-report path
+// populates them.
+func TestRunReportGoldenFatTree(t *testing.T) {
+	reg := obs.NewRegistry()
+	trace := obs.NewTraceWithClock(tickClock())
+	alloc := cluster.TopologyTwoPairs()
+	topo, err := netmodel.TopologyByName("fat-tree", alloc.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := benchmark.NewRunner(netmodel.DefaultParams(), netmodel.DefaultEnv(),
+		alloc, benchmark.Config{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Topology = topo
+	tuner := New(obsConfig(reg, trace), autotune.LiveBackend{Runner: r})
+	res, err := tuner.Tune(coll.Gather)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildRunReport("test-sim", map[coll.Collective]*Result{coll.Gather: res}, trace, reg)
+	rep.Topology = topo.Name()
+	rep.Scenario = "baseline"
+	checkReportGolden(t, rep, "run_report_fattree.golden.json")
 }
 
 // TestRunReportFile round-trips WriteFile output through json.Valid and

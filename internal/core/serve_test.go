@@ -4,8 +4,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"acclaim/internal/autotune"
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
 	"acclaim/internal/coll"
 	"acclaim/internal/featspace"
+	"acclaim/internal/netmodel"
 )
 
 // TestServeEndToEnd is the full-pipeline determinism test: a seeded
@@ -75,6 +79,67 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if _, known := coll.AlgIndex(coll.Bcast, alg); !known {
 		t.Fatalf("unknown algorithm %q after reload", alg)
+	}
+}
+
+// TestServeTopologyEndToEnd runs the seeded TuneAll→Serve pipeline for
+// the scenario-diversity collectives on the non-default interconnects:
+// tuning alltoall on a fat-tree and reduce_scatter on a 3D torus must
+// produce a complete rule table whose served selections are always
+// algorithms the collective actually registers. This is the acceptance
+// gate that the new collectives and the new machine models compose
+// through the unchanged AlgSource/ExecSelected seam.
+func TestServeTopologyEndToEnd(t *testing.T) {
+	cases := []struct {
+		topo string
+		c    coll.Collective
+	}{
+		{"fat-tree", coll.Alltoall},
+		{"torus", coll.ReduceScatter},
+	}
+	for _, tc := range cases {
+		t.Run(tc.topo, func(t *testing.T) {
+			alloc := cluster.TopologyTwoPairs()
+			topo, err := netmodel.TopologyByName(tc.topo, alloc.Machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := benchmark.NewRunner(netmodel.DefaultParams(), netmodel.DefaultEnv(),
+				alloc, benchmark.Config{Seed: 33})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Topology = topo
+			tuner := New(testConfig(), autotune.LiveBackend{Runner: r})
+			results, err := tuner.TuneAll([]coll.Collective{tc.c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, file, err := tuner.Serve(results, "sim-"+tc.topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := file.Tables[tc.c.String()]
+			if tab == nil {
+				t.Fatalf("no rule table emitted for %v", tc.c)
+			}
+			for _, p := range testSpace().Points() {
+				alg, ok := srv.Lookup(tc.c, p.Nodes, p.PPN, p.MsgBytes)
+				if !ok {
+					t.Fatalf("%v on %s: server missed at %v", tc.c, tc.topo, p)
+				}
+				if _, known := coll.AlgIndex(tc.c, alg); !known {
+					t.Fatalf("%v on %s: served unknown algorithm %q at %v", tc.c, tc.topo, alg, p)
+				}
+				want, err := tab.Select(p.Nodes, p.PPN, p.MsgBytes)
+				if err != nil {
+					t.Fatalf("%v on %s: rule file incomplete at %v: %v", tc.c, tc.topo, p, err)
+				}
+				if alg != want {
+					t.Fatalf("%v on %s at %v: server = %q, rule file = %q", tc.c, tc.topo, p, alg, want)
+				}
+			}
+		})
 	}
 }
 

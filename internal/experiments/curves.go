@@ -79,7 +79,7 @@ func Fig3(l *Lab, fracs []float64) ([]Fig3Row, error) {
 	for i := range sums {
 		sums[i].Fraction = fracs[i]
 	}
-	for _, c := range coll.Collectives() {
+	for _, c := range coll.PaperCollectives() {
 		eval := l.EvalFor(c, l.Space.Points())
 
 		hCurve, err := l.hunoldTuner().LearningCurve(c, fracs, eval)
@@ -109,7 +109,7 @@ func Fig3(l *Lab, fracs []float64) ([]Fig3Row, error) {
 			sums[i].FACT += fCurve[i].Slowdown
 		}
 	}
-	n := float64(len(coll.Collectives()))
+	n := float64(len(coll.PaperCollectives()))
 	for i := range sums {
 		sums[i].Hunold /= n
 		sums[i].FACT /= n

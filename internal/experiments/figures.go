@@ -40,7 +40,7 @@ type Fig6Row struct {
 // space for training but 20% x all algorithms for testing.
 func Fig6(l *Lab) ([]Fig6Row, error) {
 	var out []Fig6Row
-	for _, c := range coll.Collectives() {
+	for _, c := range coll.PaperCollectives() {
 		res, err := l.factTuner(c, 0).Tune(c)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %v: %w", c, err)
@@ -81,11 +81,11 @@ func Fig7(l *Lab, c coll.Collective) ([]Fig7Point, error) {
 }
 
 // Fig9 demonstrates the Section V configuration-file generation: it
-// trains ACCLAiM on every collective and lowers the models into a
-// validated MPICH-style JSON rule file.
+// trains ACCLAiM on the paper's collectives and lowers the models into
+// a validated MPICH-style JSON rule file.
 func Fig9(l *Lab) (*rules.File, error) {
 	tuner := l.acclaimTuner(nil)
-	results, err := tuner.TuneAll(nil)
+	results, err := tuner.TuneAll(coll.PaperCollectives())
 	if err != nil {
 		return nil, fmt.Errorf("fig9: %w", err)
 	}
@@ -126,7 +126,7 @@ func Fig10(l *Lab, maxPoolFrac float64) ([]Fig10Row, float64, error) {
 	fracs := fineFractions(25)
 	var rows []Fig10Row
 	var cumA, cumF float64
-	for _, c := range coll.Collectives() {
+	for _, c := range coll.PaperCollectives() {
 		eval := l.EvalFor(c, l.Space.Points())
 
 		pool := len(autotune.Candidates(c, l.Space, l.Backend().MaxNodes()))
@@ -193,7 +193,7 @@ type Fig12Row struct {
 func Fig12(l *Lab) ([]Fig12Row, float64, error) {
 	var rows []Fig12Row
 	var sumVar, sumSlow float64
-	for _, c := range coll.Collectives() {
+	for _, c := range coll.PaperCollectives() {
 		tuner := l.acclaimTuner(func(cfg *core.Config) {
 			cfg.Evaluator = l.Eval(l.Space.Points())
 		})
@@ -260,7 +260,7 @@ func TopologyOrder() []string {
 // allocations.
 func Fig13(l *Lab) ([]Fig13Row, error) {
 	var out []Fig13Row
-	for _, c := range coll.Collectives() {
+	for _, c := range coll.PaperCollectives() {
 		// The benchmark sequence: ACCLAiM's selection order.
 		res, err := l.acclaimTuner(nil).Tune(c)
 		if err != nil {
@@ -341,7 +341,7 @@ func Fig14(nodes, maxPPN int, seed int64) ([]Fig14Row, float64, error) {
 
 	var rows []Fig14Row
 	var total float64
-	for _, c := range coll.Collectives() {
+	for _, c := range coll.PaperCollectives() {
 		res, err := tuner.Tune(c)
 		if err != nil {
 			return nil, 0, fmt.Errorf("fig14 %v: %w", c, err)

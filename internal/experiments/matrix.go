@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acclaim/internal/benchmark"
+	"acclaim/internal/cluster"
+	"acclaim/internal/coll"
+	"acclaim/internal/featspace"
+	"acclaim/internal/netmodel"
+)
+
+// ScenarioMatrix is the scenario-diversity extension experiment (not a
+// paper figure): it measures every registered algorithm of the given
+// collectives at one feature point across every (topology × scenario)
+// combination, on a contiguous allocation so the grid is fully
+// deterministic for a seed. Nil collective/topology/scenario lists mean
+// "all registered".
+func ScenarioMatrix(colls []coll.Collective, topos []string, scenarios []benchmark.Scenario,
+	nodes, ppn, msg int, seed int64) ([]benchmark.CellResult, error) {
+	mach := cluster.Theta()
+	alloc, err := cluster.Contiguous(mach, 0, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return benchmark.RunMatrix(benchmark.MatrixConfig{
+		Params:      netmodel.DefaultParams(),
+		Env:         netmodel.DefaultEnv(),
+		Alloc:       alloc,
+		Bench:       benchmark.Config{Seed: seed},
+		Collectives: colls,
+		Topologies:  topos,
+		Scenarios:   scenarios,
+		Point:       featspace.Point{Nodes: nodes, PPN: ppn, MsgBytes: msg},
+	})
+}
+
+// ReportScenarioMatrix renders the matrix as one table per topology:
+// rows are (collective, algorithm) cells, columns are scenarios, values
+// are mean collective times in microseconds with the per-row winner
+// across algorithms of the same collective starred per scenario.
+func ReportScenarioMatrix(results []benchmark.CellResult) string {
+	if len(results) == 0 {
+		return "scenario matrix: no cells"
+	}
+	var topos []string
+	var scenarios []benchmark.Scenario
+	type rowKey struct {
+		c   coll.Collective
+		alg string
+	}
+	var rows []rowKey
+	seenT := map[string]bool{}
+	seenS := map[benchmark.Scenario]bool{}
+	seenR := map[rowKey]bool{}
+	cell := map[string]map[benchmark.Scenario]map[rowKey]float64{}
+	for _, r := range results {
+		if !seenT[r.Cell.Topology] {
+			seenT[r.Cell.Topology] = true
+			topos = append(topos, r.Cell.Topology)
+			cell[r.Cell.Topology] = map[benchmark.Scenario]map[rowKey]float64{}
+		}
+		if !seenS[r.Cell.Scenario] {
+			seenS[r.Cell.Scenario] = true
+			scenarios = append(scenarios, r.Cell.Scenario)
+		}
+		k := rowKey{r.Cell.Coll, r.Cell.Alg}
+		if !seenR[k] {
+			seenR[k] = true
+			rows = append(rows, k)
+		}
+		if cell[r.Cell.Topology][r.Cell.Scenario] == nil {
+			cell[r.Cell.Topology][r.Cell.Scenario] = map[rowKey]float64{}
+		}
+		cell[r.Cell.Topology][r.Cell.Scenario][k] = r.MeanTime
+	}
+	sort.Slice(scenarios, func(i, j int) bool { return scenarios[i] < scenarios[j] })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].c != rows[j].c {
+			return rows[i].c < rows[j].c
+		}
+		return rows[i].alg < rows[j].alg
+	})
+
+	p := results[0].Cell.Point
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario matrix — mean collective time (us) at nodes=%d ppn=%d msg=%d\n",
+		p.Nodes, p.PPN, p.MsgBytes)
+	for _, topo := range topos {
+		fmt.Fprintf(&b, "\n[%s]\n", topo)
+		fmt.Fprintf(&b, "%-32s", "collective/algorithm")
+		for _, s := range scenarios {
+			fmt.Fprintf(&b, "%18s", s)
+		}
+		b.WriteByte('\n')
+		// Winner per (collective, scenario): the algorithm a tuned
+		// library should select in that cell.
+		best := map[benchmark.Scenario]map[coll.Collective]rowKey{}
+		for _, s := range scenarios {
+			best[s] = map[coll.Collective]rowKey{}
+			for _, k := range rows {
+				t, ok := cell[topo][s][k]
+				if !ok {
+					continue
+				}
+				cur, ok := best[s][k.c]
+				if !ok || t < cell[topo][s][cur] {
+					best[s][k.c] = k
+				}
+			}
+		}
+		for _, k := range rows {
+			fmt.Fprintf(&b, "%-32s", k.c.String()+"/"+k.alg)
+			for _, s := range scenarios {
+				t, ok := cell[topo][s][k]
+				if !ok {
+					fmt.Fprintf(&b, "%18s", "-")
+					continue
+				}
+				mark := " "
+				if best[s][k.c] == k {
+					mark = "*"
+				}
+				fmt.Fprintf(&b, "%17.1f%s", t, mark)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("\n(* = fastest algorithm of its collective in that scenario)\n")
+	return b.String()
+}

@@ -37,6 +37,20 @@ func (p Point) Valid() bool {
 	return p.Nodes >= 1 && p.PPN >= 1 && p.MsgBytes >= 1 && p.Ranks() >= 2
 }
 
+// Validate is the error-returning form of Valid for boundary layers
+// (CLI flags, matrix configs) that must say what is wrong rather than
+// silently failing deep inside the simulator.
+func (p Point) Validate() error {
+	switch {
+	case p.Nodes < 1 || p.PPN < 1 || p.MsgBytes < 1:
+		return fmt.Errorf("featspace: point %v needs positive nodes, ppn, and message size", p)
+	case p.Ranks() < 2:
+		return fmt.Errorf("featspace: point %v is a single-rank collective", p)
+	default:
+		return nil
+	}
+}
+
 // Space is a finite grid of feature values. The cross product of the
 // three axes enumerates all candidate points.
 type Space struct {

@@ -2,6 +2,7 @@ package featspace
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -168,6 +169,22 @@ func TestPointValidAndRanks(t *testing.T) {
 	}
 	if (Point{2, 4, 0}).Valid() {
 		t.Error("zero message size should be invalid")
+	}
+}
+
+func TestPointValidate(t *testing.T) {
+	// Validate must agree with Valid and name the failure.
+	for _, p := range []Point{{1, 1, 8}, {1, 2, 8}, {2, 4, 0}, {0, 4, 8}, {8, 2, 4096}} {
+		err := p.Validate()
+		if (err == nil) != p.Valid() {
+			t.Errorf("Validate(%v) = %v, Valid = %v", p, err, p.Valid())
+		}
+	}
+	if err := (Point{2, 4, 0}).Validate(); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Errorf("zero-msg error should name the positive-components rule, got %v", err)
+	}
+	if err := (Point{1, 1, 8}).Validate(); err == nil || !strings.Contains(err.Error(), "single-rank") {
+		t.Errorf("single-rank error should name the rank rule, got %v", err)
 	}
 }
 

@@ -25,6 +25,10 @@ const (
 	reduceShortMsg    = 512    // below: binomial
 	allgatherShortTot = 32768  // total bytes below: recursive doubling / Bruck
 	allgatherLongTot  = 131072 // total bytes above: ring
+	alltoallShortMsg  = 256    // below: Bruck store-and-forward
+	alltoallMediumMsg = 32768  // below: scattered isend/irecv; above: pairwise
+	rsLongMsg         = 524288 // reduce_scatter: below (on P2): recursive halving
+	rootedLargeMsg    = 8192   // gather/scatter: above: flat linear schedule
 )
 
 // Select returns the MPICH-default algorithm for a collective at a
@@ -62,6 +66,25 @@ func Select(c coll.Collective, p featspace.Point) string {
 		default:
 			return "ring"
 		}
+	case coll.Alltoall:
+		switch {
+		case p.MsgBytes < alltoallShortMsg:
+			return "brucks"
+		case p.MsgBytes <= alltoallMediumMsg:
+			return "scattered"
+		default:
+			return "pairwise"
+		}
+	case coll.ReduceScatter:
+		if p.MsgBytes < rsLongMsg && featspace.IsP2(ranks) {
+			return "recursive_halving"
+		}
+		return "pairwise_exchange"
+	case coll.Gather, coll.Scatter:
+		if p.MsgBytes >= rootedLargeMsg {
+			return "linear"
+		}
+		return "binomial"
 	default:
 		return ""
 	}

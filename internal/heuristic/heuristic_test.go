@@ -90,3 +90,46 @@ func TestSelectorAdapter(t *testing.T) {
 		t.Error("Selector disagrees with Select")
 	}
 }
+
+func TestAlltoallCutoffs(t *testing.T) {
+	small := featspace.Point{Nodes: 8, PPN: 2, MsgBytes: 64}
+	if got := Select(coll.Alltoall, small); got != "brucks" {
+		t.Errorf("small alltoall = %s", got)
+	}
+	medium := featspace.Point{Nodes: 8, PPN: 2, MsgBytes: 4096}
+	if got := Select(coll.Alltoall, medium); got != "scattered" {
+		t.Errorf("medium alltoall = %s", got)
+	}
+	large := featspace.Point{Nodes: 8, PPN: 2, MsgBytes: 1 << 17}
+	if got := Select(coll.Alltoall, large); got != "pairwise" {
+		t.Errorf("large alltoall = %s", got)
+	}
+}
+
+func TestReduceScatterCutoffs(t *testing.T) {
+	shortP2 := featspace.Point{Nodes: 8, PPN: 2, MsgBytes: 4096}
+	if got := Select(coll.ReduceScatter, shortP2); got != "recursive_halving" {
+		t.Errorf("short P2 reduce_scatter = %s", got)
+	}
+	nonP2 := featspace.Point{Nodes: 9, PPN: 1, MsgBytes: 4096}
+	if got := Select(coll.ReduceScatter, nonP2); got != "pairwise_exchange" {
+		t.Errorf("non-P2 reduce_scatter = %s", got)
+	}
+	long := featspace.Point{Nodes: 8, PPN: 2, MsgBytes: 1 << 20}
+	if got := Select(coll.ReduceScatter, long); got != "pairwise_exchange" {
+		t.Errorf("long reduce_scatter = %s", got)
+	}
+}
+
+func TestRootedCutoffs(t *testing.T) {
+	for _, c := range []coll.Collective{coll.Gather, coll.Scatter} {
+		small := featspace.Point{Nodes: 16, PPN: 1, MsgBytes: 512}
+		if got := Select(c, small); got != "binomial" {
+			t.Errorf("small %v = %s", c, got)
+		}
+		large := featspace.Point{Nodes: 16, PPN: 1, MsgBytes: 65536}
+		if got := Select(c, large); got != "linear" {
+			t.Errorf("large %v = %s", c, got)
+		}
+	}
+}

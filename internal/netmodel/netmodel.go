@@ -134,6 +134,15 @@ type Env struct {
 	LatencyFactor   float64 // multiplies network (non-intra-node) latencies
 	BandwidthFactor float64 // divides network bandwidths (congestion), >= 1
 	NoiseSigma      float64 // relative sigma of multiplicative measurement noise
+
+	// HeteroEvery/HeteroFactor model heterogeneous node speed (the
+	// scenario matrix's slow-node variant): every HeteroEvery-th
+	// allocated node — allocation order, so indices HeteroEvery-1,
+	// 2*HeteroEvery-1, … — moves bytes HeteroFactor× slower on every
+	// path touching it. HeteroEvery of zero (the zero value and the
+	// default) disables the mechanism entirely.
+	HeteroEvery  int     // every k-th allocated node is slow; 0 disables
+	HeteroFactor float64 // slowdown multiplier for slow nodes, >= 1
 }
 
 // DefaultEnv is a calm, uncongested environment with mild noise.
@@ -161,6 +170,12 @@ func (e Env) Validate() error {
 	if e.LatencyFactor < 1 || e.BandwidthFactor < 1 || e.NoiseSigma < 0 {
 		return errors.New("netmodel: environment factors must be >= 1 (noise >= 0)")
 	}
+	if e.HeteroEvery < 0 {
+		return errors.New("netmodel: HeteroEvery must be >= 0")
+	}
+	if e.HeteroEvery > 0 && e.HeteroFactor < 1 {
+		return errors.New("netmodel: HeteroFactor must be >= 1 when HeteroEvery is set")
+	}
 	return nil
 }
 
@@ -173,15 +188,25 @@ type Model struct {
 	Alloc  cluster.Allocation
 	PPN    int
 
-	nodeOf []int // rank -> physical node, precomputed
-	rackOf []int // rank -> rack
-	pairOf []int // rank -> rack pair
+	topo   Topology
+	nodeOf []int     // rank -> physical node, precomputed
+	rackOf []int     // rank -> rack (Dragonfly fast path; nil otherwise)
+	pairOf []int     // rank -> rack pair (Dragonfly fast path; nil otherwise)
+	slowOf []float64 // rank -> hetero slowdown factor; nil when disabled
 }
 
-// New constructs a Model for a job with the given processes per node.
-// Every allocated node hosts exactly ppn ranks (block placement), so the
-// job has Alloc.Size()*ppn ranks.
+// New constructs a Model for a job with the given processes per node on
+// the default Dragonfly topology of the allocation's machine. Every
+// allocated node hosts exactly ppn ranks (block placement), so the job
+// has Alloc.Size()*ppn ranks.
 func New(params Params, env Env, alloc cluster.Allocation, ppn int) (*Model, error) {
+	return NewWithTopology(params, env, alloc, ppn, nil)
+}
+
+// NewWithTopology is New with an explicit interconnect topology. A nil
+// topology selects Dragonfly over the allocation's machine, which is
+// byte-for-byte the historical behaviour of New.
+func NewWithTopology(params Params, env Env, alloc cluster.Allocation, ppn int, topo Topology) (*Model, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -197,17 +222,46 @@ func New(params Params, env Env, alloc cluster.Allocation, ppn int) (*Model, err
 	if ppn > alloc.Machine.CoresPerNode {
 		return nil, fmt.Errorf("netmodel: ppn %d exceeds %d cores per node", ppn, alloc.Machine.CoresPerNode)
 	}
+	if topo == nil {
+		topo = Dragonfly(alloc.Machine)
+	}
+	for _, node := range alloc.Nodes {
+		if node >= topo.Nodes() {
+			return nil, fmt.Errorf("netmodel: allocated node %d outside %s topology (%d nodes)",
+				node, topo.Name(), topo.Nodes())
+		}
+	}
 	n := alloc.Size() * ppn
 	m := &Model{Params: params, Env: env, Alloc: alloc, PPN: ppn,
-		nodeOf: make([]int, n), rackOf: make([]int, n), pairOf: make([]int, n)}
+		topo: topo, nodeOf: make([]int, n)}
+	_, isDragonfly := topo.(dragonfly)
+	if isDragonfly {
+		m.rackOf = make([]int, n)
+		m.pairOf = make([]int, n)
+	}
 	for r := 0; r < n; r++ {
 		node := alloc.Nodes[r/ppn]
 		m.nodeOf[r] = node
-		m.rackOf[r] = alloc.Machine.RackOf(node)
-		m.pairOf[r] = alloc.Machine.PairOf(m.rackOf[r])
+		if isDragonfly {
+			m.rackOf[r] = alloc.Machine.RackOf(node)
+			m.pairOf[r] = alloc.Machine.PairOf(m.rackOf[r])
+		}
+	}
+	if env.HeteroEvery > 0 {
+		m.slowOf = make([]float64, n)
+		for r := 0; r < n; r++ {
+			if (r/ppn+1)%env.HeteroEvery == 0 {
+				m.slowOf[r] = env.HeteroFactor
+			} else {
+				m.slowOf[r] = 1
+			}
+		}
 	}
 	return m, nil
 }
+
+// Topology returns the interconnect topology the model prices paths on.
+func (m *Model) Topology() Topology { return m.topo }
 
 // Ranks returns the total number of ranks in the job.
 func (m *Model) Ranks() int { return len(m.nodeOf) }
@@ -217,16 +271,20 @@ func (m *Model) NodeOf(rank int) int { return m.nodeOf[rank] }
 
 // Classify returns the path class between two ranks.
 func (m *Model) Classify(a, b int) PathClass {
-	switch {
-	case m.nodeOf[a] == m.nodeOf[b]:
+	if m.nodeOf[a] == m.nodeOf[b] {
 		return IntraNode
-	case m.rackOf[a] == m.rackOf[b]:
-		return IntraRack
-	case m.pairOf[a] == m.pairOf[b]:
-		return RackPair
-	default:
-		return Global
 	}
+	if m.rackOf != nil { // Dragonfly fast path: precomputed per-rank groups
+		switch {
+		case m.rackOf[a] == m.rackOf[b]:
+			return IntraRack
+		case m.pairOf[a] == m.pairOf[b]:
+			return RackPair
+		default:
+			return Global
+		}
+	}
+	return m.topo.ClassBetween(m.nodeOf[a], m.nodeOf[b])
 }
 
 // Transfer returns the wire time in microseconds for a message of the
@@ -246,7 +304,14 @@ func (m *Model) Transfer(from, to int, bytes int) float64 {
 		bw /= m.Params.NonP2Penalty
 		alpha *= m.Params.NonP2Alpha
 	}
-	return alpha + float64(bytes)/bw
+	t := alpha + float64(bytes)/bw
+	// Heterogeneous node speed: any path touching a slow node (even
+	// intra-node shared memory) drains at that node's pace. max keeps
+	// Transfer symmetric in direction.
+	if m.slowOf != nil {
+		t *= math.Max(m.slowOf[from], m.slowOf[to])
+	}
+	return t
 }
 
 // SendOverhead returns the CPU time the sender spends injecting one

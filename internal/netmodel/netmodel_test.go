@@ -100,7 +100,13 @@ func TestTransferProperties(t *testing.T) {
 			return false
 		}
 		if small > 0 && isP2(small) != isP2(small+1024) {
-			return true // crossing the alignment cliff: no ordering guaranteed
+			// Exemption: the two sizes sit on opposite sides of the
+			// P2/non-P2 alignment cliff (NonP2Penalty/NonP2Alpha), where
+			// the smaller-but-misaligned message can legitimately cost
+			// more than the larger aligned one — that inversion is the
+			// behaviour ACCLAiM's non-P2 training points exist to learn
+			// (Section IV-B), not a model bug, so no ordering is asserted.
+			return true
 		}
 		return t2 > t1
 	}

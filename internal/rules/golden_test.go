@@ -31,8 +31,9 @@ func goldenDir(t *testing.T) string {
 // golden is the Write serialization of the constructed file; the
 // .pruned.json golden is the serialization after Prune on every table.
 var goldenFixtures = map[string]func() *File{
-	"mpich_bcast": mpichBcastFixture,
-	"tuned_multi": tunedMultiFixture,
+	"mpich_bcast":    mpichBcastFixture,
+	"tuned_multi":    tunedMultiFixture,
+	"tuned_scenario": tunedScenarioFixture,
 }
 
 // mpichBcastFixture mirrors the shape of an MPICH json selection file
@@ -96,6 +97,76 @@ func tunedMultiFixture() *File {
 				{MaxPPN: Unbounded, Rules: []MsgRule{
 					{MaxMsg: 8192, Alg: "binomial"},
 					{MaxMsg: Unbounded, Alg: "reduce_scatter_gather"},
+				}},
+			}},
+			{MaxNodes: Unbounded, PPNs: []PPNBucket{
+				{MaxPPN: Unbounded, Rules: []MsgRule{
+					{MaxMsg: Unbounded, Alg: "binomial"},
+				}},
+			}},
+		},
+	}
+	return f
+}
+
+// tunedScenarioFixture covers the scenario-diversity collectives
+// (alltoall, reduce_scatter, gather, scatter) with their registered
+// algorithm names, shaped like a tuned fat-tree run: small-message
+// brucks/binomial regimes crossing over to pairwise/linear, with
+// redundant rules and duplicate ppn buckets so pruning has work to do.
+func tunedScenarioFixture() *File {
+	f := NewFile("fattree-sim")
+	f.Comment = "golden fixture: scenario-diversity collectives on fat-tree"
+	f.Tables["alltoall"] = &Table{
+		Collective: "alltoall",
+		Buckets: []NodeBucket{
+			{MaxNodes: 16, PPNs: []PPNBucket{
+				{MaxPPN: Unbounded, Rules: []MsgRule{
+					{MaxMsg: 256, Alg: "brucks"},
+					{MaxMsg: 32768, Alg: "scattered"},
+					{MaxMsg: Unbounded, Alg: "pairwise"},
+				}},
+			}},
+			{MaxNodes: Unbounded, PPNs: []PPNBucket{
+				{MaxPPN: Unbounded, Rules: []MsgRule{
+					{MaxMsg: 1024, Alg: "brucks"},
+					{MaxMsg: 4096, Alg: "brucks"}, // redundant: merges on Prune
+					{MaxMsg: Unbounded, Alg: "pairwise"},
+				}},
+			}},
+		},
+	}
+	f.Tables["reduce_scatter"] = &Table{
+		Collective: "reduce_scatter",
+		Buckets: []NodeBucket{
+			{MaxNodes: Unbounded, PPNs: []PPNBucket{
+				{MaxPPN: Unbounded, Rules: []MsgRule{
+					{MaxMsg: 524288, Alg: "recursive_halving"},
+					{MaxMsg: Unbounded, Alg: "pairwise_exchange"},
+				}},
+			}},
+		},
+	}
+	sameRooted := []MsgRule{
+		{MaxMsg: 8192, Alg: "binomial"},
+		{MaxMsg: Unbounded, Alg: "linear"},
+	}
+	f.Tables["gather"] = &Table{
+		Collective: "gather",
+		Buckets: []NodeBucket{
+			{MaxNodes: Unbounded, PPNs: []PPNBucket{
+				{MaxPPN: 8, Rules: append([]MsgRule(nil), sameRooted...)},
+				{MaxPPN: Unbounded, Rules: append([]MsgRule(nil), sameRooted...)}, // merges on Prune
+			}},
+		},
+	}
+	f.Tables["scatter"] = &Table{
+		Collective: "scatter",
+		Buckets: []NodeBucket{
+			{MaxNodes: 32, PPNs: []PPNBucket{
+				{MaxPPN: Unbounded, Rules: []MsgRule{
+					{MaxMsg: 2048, Alg: "binomial"},
+					{MaxMsg: Unbounded, Alg: "linear"},
 				}},
 			}},
 			{MaxNodes: Unbounded, PPNs: []PPNBucket{

@@ -247,8 +247,12 @@ func TestLookupZeroAlloc(t *testing.T) {
 // must land in one generation's algorithm set, and hits never fail.
 func TestConcurrentSwap(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	fileA := genFile(rng, "bcast", "reduce", "allgather", "allreduce")
-	fileB := genFile(rng, "bcast", "reduce", "allgather", "allreduce")
+	names := make([]string, 0, coll.NumCollectives)
+	for _, c := range coll.Collectives() {
+		names = append(names, c.String())
+	}
+	fileA := genFile(rng, names...)
+	fileB := genFile(rng, names...)
 
 	valid := map[string]bool{}
 	for _, f := range []*rules.File{fileA, fileB} {
@@ -301,7 +305,7 @@ func TestConcurrentSwap(t *testing.T) {
 					return
 				}
 				// Stats must always be readable mid-swap.
-				if st := srv.Stats(); st.Tables != 4 {
+				if st := srv.Stats(); st.Tables != coll.NumCollectives {
 					errc <- errOf("stats saw %d tables", st.Tables)
 					return
 				}
