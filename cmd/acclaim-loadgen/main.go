@@ -1,0 +1,179 @@
+// Command acclaim-loadgen is the SLO load-generation harness for the
+// serving path. It fires a mixed (collective, nodes, ppn, message-size)
+// query stream at a rule server — in-process from a tuned rule file,
+// or out-of-process against acclaim-serve -http's /v1/select endpoint —
+// and writes an acclaim.load_report/v1 JSON document with
+// coordinated-omission-corrected latency quantiles, throughput, and
+// per-collective hit rates.
+//
+// Closed-loop capacity measurement against a rule file, with a
+// benchguard-parseable summary line on stdout:
+//
+//	acclaim-loadgen -rules tuned.json -mode closed -workers 4 \
+//	    -requests 2000000 -out load_report.json -bench LoadSmoke
+//
+// Open-loop saturation sweep over an HTTP target:
+//
+//	acclaim-serve -rules tuned.json -http :8080 &
+//	acclaim-loadgen -url http://localhost:8080/v1/select \
+//	    -sweep 200000,400000,800000 -requests 500000 -out sweep.json
+//
+// The -bench line (`Benchmark<name> 1 <dur> ns/op <qps> throughput_qps
+// <p99> p99_ns`) pipes straight into cmd/benchguard, whose -floor and
+// -ceiling flags turn the run into a CI SLO gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/loadgen"
+	"acclaim/internal/ruleserver"
+)
+
+func main() {
+	var (
+		rulesPath   = flag.String("rules", "", "tuned rule file for an in-process target")
+		url         = flag.String("url", "", "out-of-process target: full /v1/select URL (mutually exclusive with -rules)")
+		mode        = flag.String("mode", "closed", "driver: closed (capacity) or open (fixed offered rate, CO-corrected)")
+		workers     = flag.Int("workers", 4, "concurrent workers")
+		requests    = flag.Int("requests", 1000000, "total requests (per sweep step when -sweep is given)")
+		rate        = flag.Float64("rate", 0, "open mode: total offered rate in queries/sec")
+		sweep       = flag.String("sweep", "", "comma-separated offered rates; runs an open-loop saturation sweep")
+		collectives = flag.String("collectives", "bcast,allreduce,allgather,alltoall", "comma-separated collectives to mix")
+		nodes       = flag.String("nodes", "2,4,8,16,32", "comma-separated node counts to mix")
+		ppn         = flag.String("ppn", "1,8,16", "comma-separated ppn values to mix")
+		msgExp      = flag.Int("max-msg-exp", 20, "message sizes are log-uniform powers of two in [1, 2^exp]")
+		seed        = flag.Int64("seed", 1, "RNG seed (worker i uses seed+i)")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+		bench       = flag.String("bench", "", "also print a benchguard-parseable Benchmark<name> line to stdout")
+	)
+	flag.Parse()
+
+	if (*rulesPath == "") == (*url == "") {
+		fatal(fmt.Errorf("exactly one of -rules or -url is required"))
+	}
+	var target loadgen.Target
+	if *rulesPath != "" {
+		srv := ruleserver.New()
+		if err := srv.Load(*rulesPath); err != nil {
+			fatal(err)
+		}
+		target = loadgen.ServerTarget{Server: srv}
+	} else {
+		target = loadgen.HTTPTarget{URL: *url}
+	}
+
+	m, err := loadgen.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	mix, err := parseMix(*collectives, *nodes, *ppn, *msgExp)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := loadgen.Config{
+		Target:   target,
+		Mix:      mix,
+		Mode:     m,
+		Workers:  *workers,
+		Requests: *requests,
+		RateQPS:  *rate,
+		Seed:     *seed,
+	}
+
+	var rep *loadgen.Report
+	if *sweep != "" {
+		rates, err := parseFloats(*sweep)
+		if err != nil {
+			fatal(fmt.Errorf("bad -sweep: %v", err))
+		}
+		rep, err = loadgen.Sweep(cfg, rates)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		rep, err = loadgen.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+	if *bench != "" {
+		if err := rep.WriteBench(os.Stdout, *bench); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"acclaim-loadgen: %s %s: %d requests, %d errors, %d misses, %.0f qps, p50 %.0fns p99 %.0fns p999 %.0fns\n",
+		rep.Mode, rep.Target, rep.Requests, rep.Errors, rep.Misses,
+		rep.ThroughputQPS, rep.Latency.P50Ns, rep.Latency.P99Ns, rep.Latency.P999Ns)
+	for _, p := range rep.Sweep {
+		fmt.Fprintf(os.Stderr, "acclaim-loadgen:   offered %9.0f qps -> achieved %9.0f qps, p99 %.0fns\n",
+			p.OfferedQPS, p.AchievedQPS, p.P99Ns)
+	}
+}
+
+func parseMix(collectives, nodes, ppn string, msgExp int) (loadgen.Mix, error) {
+	m := loadgen.Mix{MsgExpMax: msgExp}
+	for _, s := range strings.Split(collectives, ",") {
+		c, err := coll.ParseCollective(strings.TrimSpace(s))
+		if err != nil {
+			return m, err
+		}
+		m.Collectives = append(m.Collectives, c)
+	}
+	var err error
+	if m.Nodes, err = parseInts(nodes); err != nil {
+		return m, fmt.Errorf("bad -nodes: %v", err)
+	}
+	if m.PPN, err = parseInts(ppn); err != nil {
+		return m, fmt.Errorf("bad -ppn: %v", err)
+	}
+	return m, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "acclaim-loadgen: %v\n", err)
+	os.Exit(1)
+}

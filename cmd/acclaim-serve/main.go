@@ -19,13 +19,20 @@
 // lookups are never blocked. -stats prints serving counters to stderr
 // on exit.
 //
+// With -http, a minimal JSON selection API is served instead of the
+// stdin stream: GET or POST /v1/select resolves one query per request
+// ({"collective","nodes","ppn","msg"} -> {"algorithm","ok"}), which is
+// what cmd/acclaim-loadgen drives in its out-of-process mode. A miss
+// is a 200 with ok=false (deployment-visible condition); malformed
+// input is a 400.
+//
 // With -debug-addr, an HTTP observability endpoint is served for the
-// life of the process (most useful with streaming mode): /metrics
-// answers Prometheus text by default and expvar-style JSON with
-// ?format=json (the per-epoch hit/miss/latency counters, read through
-// the lock-free snapshot pointer), /debug/vars is the standard expvar
-// page with the registry published under "acclaim", and /debug/pprof/
-// exposes the usual profiles.
+// life of the process (most useful with streaming or -http mode):
+// /metrics answers Prometheus text by default and expvar-style JSON
+// with ?format=json (the per-epoch hit/miss/latency counters, read
+// through the lock-free snapshot pointer), /debug/vars is the standard
+// expvar page with the registry published under "acclaim", and
+// /debug/pprof/ exposes the usual profiles.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -55,7 +63,8 @@ func main() {
 		rulesPath = flag.String("rules", "", "tuned selection rule file (JSON, required)")
 		queries   queryList
 		stats     = flag.Bool("stats", false, "print serving counters to stderr on exit")
-		watch     = flag.Duration("watch", 0, "poll the rule file at this interval and hot-reload on change (streaming mode only)")
+		watch     = flag.Duration("watch", 0, "poll the rule file at this interval and hot-reload on change (streaming and -http modes)")
+		httpAddr  = flag.String("http", "", "serve the /v1/select JSON selection API on this address (replaces stdin streaming)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text / expvar JSON), /debug/vars, and /debug/pprof on this address")
 	)
 	flag.Var(&queries, "query", "one-shot query collective:nodes:ppn:msgbytes (repeatable)")
@@ -86,6 +95,14 @@ func main() {
 			}
 			fmt.Println(alg)
 		}
+	} else if *httpAddr != "" {
+		if *watch > 0 {
+			go watchFile(srv, *rulesPath, *watch)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/select", ruleserver.SelectHandler(srv))
+		fmt.Fprintf(os.Stderr, "acclaim-serve: serving /v1/select on %s\n", *httpAddr)
+		fatal(http.ListenAndServe(*httpAddr, mux))
 	} else {
 		if *watch > 0 {
 			go watchFile(srv, *rulesPath, *watch)
@@ -112,10 +129,26 @@ func main() {
 	}
 
 	if *stats {
-		st := srv.Stats()
-		fmt.Fprintf(os.Stderr,
-			"acclaim-serve: snapshot v%d, %d tables, %d rules, %d hits, %d misses, %d swaps, avg lookup %v\n",
-			st.Version, st.Tables, st.Rules, st.Hits, st.Misses, st.Swaps, st.AvgLatency)
+		printStats(os.Stderr, srv.Stats())
+	}
+}
+
+// printStats renders the end-of-run serving summary: headline
+// counters, the lookup-latency quantiles recorded over every lookup
+// (exact to within the HDR bucket resolution), and a per-collective
+// hit-rate table.
+func printStats(w io.Writer, st ruleserver.Stats) {
+	fmt.Fprintf(w,
+		"acclaim-serve: snapshot v%d, %d tables, %d rules, %d hits, %d misses, %d swaps\n",
+		st.Version, st.Tables, st.Rules, st.Hits, st.Misses, st.Swaps)
+	fmt.Fprintf(w, "acclaim-serve: lookup latency p50 %v, p99 %v, p999 %v\n", st.P50, st.P99, st.P999)
+	for _, cs := range st.PerCollective {
+		hitRate := 100.0
+		if cs.Lookups > 0 {
+			hitRate = 100 * float64(cs.Lookups-cs.Misses) / float64(cs.Lookups)
+		}
+		fmt.Fprintf(w, "acclaim-serve:   %-16s %9d lookups %9d misses  %5.1f%% hit\n",
+			cs.Collective, cs.Lookups, cs.Misses, hitRate)
 	}
 }
 

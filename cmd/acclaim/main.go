@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -55,6 +56,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "job seed (allocation + environment)")
 		maxMsg    = flag.Int("maxmsg", 1<<20, "maximum tuned message size in bytes")
 		runReport = flag.String("run-report", "", "write the tuning run's span timeline, convergence series, and metric snapshot to this JSON file")
+		eventLog  = flag.String("event-log", "", "stream spans and events as JSONL to this file while the run executes (bounded; see obs.EventLog)")
 		topoName  = flag.String("topology", "dragonfly", "interconnect topology: dragonfly, fat-tree, or torus")
 		scenario  = flag.String("scenario", "baseline", "environment scenario: baseline, degraded-links, congestion-storm, or hetero-nodes")
 	)
@@ -66,9 +68,25 @@ func main() {
 	}
 
 	// --- Observability: one registry for every pipeline stage, one
-	// trace for the tuning timeline.
+	// trace for the tuning timeline, and — on request — a streaming
+	// JSONL event log so the same spans leave the process live instead
+	// of only landing in the end-of-run report.
 	reg := obs.NewRegistry()
 	trace := obs.NewTrace()
+	var recorder obs.Recorder = trace
+	var events *obs.EventLog
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<16)
+		defer bw.Flush()
+		events = obs.NewEventLog(bw, 0)
+		events.Register(reg)
+		recorder = obs.Tee(trace, events)
+	}
 
 	// --- Job submission: the scheduler hands us a best-effort
 	// allocation; the job's dynamic environment is sampled from it.
@@ -109,7 +127,7 @@ func main() {
 		// stall criterion accepts.
 		Window:   6,
 		Epsilon:  0.03,
-		Recorder: trace,
+		Recorder: recorder,
 		Registry: reg,
 	}, autotune.LiveBackend{Runner: runner})
 
@@ -143,6 +161,12 @@ func main() {
 		}
 		fmt.Printf("wrote run report %s (%d spans, %d metrics)\n",
 			*runReport, len(report.Spans), len(report.Metrics))
+	}
+	if events != nil {
+		fmt.Printf("event log %s: %d lines, %d dropped\n", *eventLog, events.Events(), events.Dropped())
+		if err := events.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "acclaim: event log write error: %v\n", err)
+		}
 	}
 
 	// --- Job-cell verification: the tool knows the job's exact

@@ -18,7 +18,12 @@
 // dedicated hardware). The tolerance is relative (-tolerance 0.25
 // fails anything >25% above baseline). Repeatable -floor name=value
 // flags put a lower bound on custom metrics (e.g. -floor speedup=4
-// fails any benchmark whose reported speedup drops below 4).
+// fails any benchmark whose reported speedup drops below 4);
+// repeatable -ceiling name=value flags put an upper bound (e.g.
+// -ceiling p99_ns=2000000 fails any benchmark whose reported p99_ns
+// exceeds 2ms — the SLO gate the load-smoke CI job uses). Floors and
+// ceilings apply even without -baseline, so absolute SLO gates need no
+// checked-in timing baseline.
 //
 // Exit codes (shared with cmd/acclaim-lint): 0 = clean, 1 = findings
 // (benchmark regressions), 2 = tool error (bad flags, empty input,
@@ -51,28 +56,33 @@ type Snapshot struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// floorFlags collects repeatable -floor name=value arguments.
-type floorFlags map[string]float64
+// boundFlags collects repeatable name=value metric-bound arguments;
+// the same type backs -floor (lower bounds) and -ceiling (upper
+// bounds).
+type boundFlags struct {
+	flagName string
+	vals     map[string]float64
+}
 
-func (f floorFlags) String() string {
-	parts := make([]string, 0, len(f))
-	for name, v := range f {
+func (f *boundFlags) String() string {
+	parts := make([]string, 0, len(f.vals))
+	for name, v := range f.vals {
 		parts = append(parts, fmt.Sprintf("%s=%g", name, v))
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, ",")
 }
 
-func (f floorFlags) Set(s string) error {
+func (f *boundFlags) Set(s string) error {
 	name, val, ok := strings.Cut(s, "=")
 	if !ok {
-		return fmt.Errorf("bad -floor %q: want name=value", s)
+		return fmt.Errorf("bad -%s %q: want name=value", f.flagName, s)
 	}
 	v, err := strconv.ParseFloat(val, 64)
 	if err != nil {
-		return fmt.Errorf("bad -floor %q: %v", s, err)
+		return fmt.Errorf("bad -%s %q: %v", f.flagName, s, err)
 	}
-	f[name] = v
+	f.vals[name] = v
 	return nil
 }
 
@@ -82,8 +92,10 @@ func main() {
 	update := flag.String("update", "", "write the snapshot as a new baseline to this path and exit")
 	tolerance := flag.Float64("tolerance", 0.25, "relative regression tolerance")
 	gateTime := flag.Bool("time", false, "also gate ns/op (timing is noisy on shared runners)")
-	floors := floorFlags{}
+	floors := &boundFlags{flagName: "floor", vals: map[string]float64{}}
 	flag.Var(floors, "floor", "metric lower bound as name=value, repeatable (e.g. -floor speedup=4)")
+	ceilings := &boundFlags{flagName: "ceiling", vals: map[string]float64{}}
+	flag.Var(ceilings, "ceiling", "metric upper bound as name=value, repeatable (e.g. -ceiling p99_ns=2000000)")
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(),
 			"usage: go test -bench=. ... | benchguard [flags]\n\n"+
@@ -117,22 +129,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: baseline %s updated (%d benchmarks)\n", *update, len(snap.Benchmarks))
 		return
 	}
-	if *baseline == "" {
+	if *baseline == "" && len(floors.vals) == 0 && len(ceilings.vals) == 0 {
 		return
 	}
-	base, err := readJSON(*baseline)
-	if err != nil {
-		fatal(err)
+	base := &Snapshot{Benchmarks: map[string]Result{}}
+	if *baseline != "" {
+		if base, err = readJSON(*baseline); err != nil {
+			fatal(err)
+		}
 	}
-	failures := compare(base, snap, *tolerance, *gateTime, floors)
+	failures := compare(base, snap, *tolerance, *gateTime, floors.vals, ceilings.vals)
 	for _, f := range failures {
 		fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 	}
 	if len(failures) > 0 {
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchguard: %d benchmarks within %.0f%% of baseline\n",
-		len(snap.Benchmarks), *tolerance*100)
+	if *baseline != "" {
+		fmt.Fprintf(os.Stderr, "benchguard: %d benchmarks within %.0f%% of baseline\n",
+			len(snap.Benchmarks), *tolerance*100)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchguard: %d benchmarks within metric bounds\n",
+			len(snap.Benchmarks))
+	}
 }
 
 // parse reads standard `go test -bench` output. Lines look like:
@@ -197,9 +216,10 @@ func normalize(name string) string {
 // Benchmarks absent from either side are skipped (adds and removals
 // are changes to review, not regressions). Allocation metrics with a
 // zero baseline are gated exactly: a zero-alloc path that starts
-// allocating fails no matter the tolerance. Metric floors apply to
-// every current benchmark that reports the named metric.
-func compare(base, cur *Snapshot, tol float64, gateTime bool, floors map[string]float64) []string {
+// allocating fails no matter the tolerance. Metric floors and ceilings
+// apply to every current benchmark that reports the named metric,
+// baseline or not.
+func compare(base, cur *Snapshot, tol float64, gateTime bool, floors, ceilings map[string]float64) []string {
 	var fails []string
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -214,9 +234,17 @@ func compare(base, cur *Snapshot, tol float64, gateTime bool, floors map[string]
 					name, metric, v, floor))
 			}
 		}
+		for metric, ceil := range ceilings {
+			if v, ok := c.Metrics[metric]; ok && v > ceil {
+				fails = append(fails, fmt.Sprintf("%s %s: %.3f above ceiling %.3f",
+					name, metric, v, ceil))
+			}
+		}
 		b, ok := base.Benchmarks[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchguard: %s not in baseline (new benchmark, skipping)\n", name)
+			if len(base.Benchmarks) > 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: %s not in baseline (new benchmark, skipping)\n", name)
+			}
 			continue
 		}
 		check := func(metric string, baseV, curV float64, zeroGated bool) {

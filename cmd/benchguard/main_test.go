@@ -48,15 +48,15 @@ func TestCompare(t *testing.T) {
 		"BenchmarkB":   {NsPerOp: 90, AllocsPerOp: 1500},  // allocs regressed 50%
 		"BenchmarkNew": {AllocsPerOp: 9},
 	}}
-	fails := compare(base, cur, 0.25, false, nil)
+	fails := compare(base, cur, 0.25, false, nil, nil)
 	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkB") {
 		t.Errorf("alloc-only gate failures = %v, want just BenchmarkB", fails)
 	}
-	fails = compare(base, cur, 0.25, true, nil)
+	fails = compare(base, cur, 0.25, true, nil, nil)
 	if len(fails) != 2 {
 		t.Errorf("time-gated failures = %v, want BenchmarkA and BenchmarkB", fails)
 	}
-	if fails := compare(base, base, 0.25, true, nil); len(fails) != 0 {
+	if fails := compare(base, base, 0.25, true, nil, nil); len(fails) != 0 {
 		t.Errorf("identical snapshots should pass, got %v", fails)
 	}
 }
@@ -71,13 +71,13 @@ func TestCompareZeroAllocGate(t *testing.T) {
 	still := &Snapshot{Benchmarks: map[string]Result{
 		"BenchmarkHotPath": {NsPerOp: 9},
 	}}
-	if fails := compare(base, still, 0.25, false, nil); len(fails) != 0 {
+	if fails := compare(base, still, 0.25, false, nil, nil); len(fails) != 0 {
 		t.Errorf("still-zero-alloc run should pass, got %v", fails)
 	}
 	leaky := &Snapshot{Benchmarks: map[string]Result{
 		"BenchmarkHotPath": {NsPerOp: 9, AllocsPerOp: 1, BytesPerOp: 16},
 	}}
-	fails := compare(base, leaky, 0.25, false, nil)
+	fails := compare(base, leaky, 0.25, false, nil, nil)
 	if len(fails) != 2 || !strings.Contains(fails[0], "zero-alloc") {
 		t.Errorf("allocating on a zero-alloc path should fail both units, got %v", fails)
 	}
@@ -94,29 +94,58 @@ func TestCompareMetricFloor(t *testing.T) {
 		"BenchmarkNew":     {NsPerOp: 100, Metrics: map[string]float64{"speedup": 1.5}},
 		"BenchmarkOther":   {NsPerOp: 100, Metrics: map[string]float64{"procs": 8}},
 	}}
-	if fails := compare(base, cur, 0.25, false, nil); len(fails) != 0 {
+	if fails := compare(base, cur, 0.25, false, nil, nil); len(fails) != 0 {
 		t.Errorf("no floors set, expected no failures, got %v", fails)
 	}
-	fails := compare(base, cur, 0.25, false, map[string]float64{"speedup": 4})
+	fails := compare(base, cur, 0.25, false, map[string]float64{"speedup": 4}, nil)
 	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkNew") {
 		t.Errorf("floor 4 should fail only BenchmarkNew, got %v", fails)
 	}
-	fails = compare(base, cur, 0.25, false, map[string]float64{"speedup": 5.4})
+	fails = compare(base, cur, 0.25, false, map[string]float64{"speedup": 5.4}, nil)
 	if len(fails) != 2 {
 		t.Errorf("floor 5.4 should fail both speedup benchmarks, got %v", fails)
 	}
 }
 
-func TestFloorFlags(t *testing.T) {
-	f := floorFlags{}
+// TestCompareMetricCeiling proves -ceiling gates custom metrics from
+// above — the SLO direction (latency must stay under a bound) — and
+// that an empty baseline still applies the bound without noise about
+// missing benchmarks.
+func TestCompareMetricCeiling(t *testing.T) {
+	empty := &Snapshot{Benchmarks: map[string]Result{}}
+	cur := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkLoadSmoke": {NsPerOp: 1e9, Metrics: map[string]float64{
+			"throughput_qps": 800000, "p99_ns": 2500,
+		}},
+	}}
+	if fails := compare(empty, cur, 0.25, false, nil, nil); len(fails) != 0 {
+		t.Errorf("no bounds set, expected no failures, got %v", fails)
+	}
+	fails := compare(empty, cur, 0.25, false, nil, map[string]float64{"p99_ns": 2000})
+	if len(fails) != 1 || !strings.Contains(fails[0], "above ceiling") {
+		t.Errorf("ceiling 2000 should fail p99_ns=2500, got %v", fails)
+	}
+	if fails := compare(empty, cur, 0.25, false, nil, map[string]float64{"p99_ns": 3000}); len(fails) != 0 {
+		t.Errorf("ceiling 3000 should pass, got %v", fails)
+	}
+	// Both directions at once: the load-smoke gate shape.
+	fails = compare(empty, cur, 0.25, false,
+		map[string]float64{"throughput_qps": 1e6}, map[string]float64{"p99_ns": 2000})
+	if len(fails) != 2 {
+		t.Errorf("floor+ceiling should both fail, got %v", fails)
+	}
+}
+
+func TestBoundFlags(t *testing.T) {
+	f := &boundFlags{flagName: "floor", vals: map[string]float64{}}
 	if err := f.Set("speedup=4.5"); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Set("procs=2"); err != nil {
 		t.Fatal(err)
 	}
-	if f["speedup"] != 4.5 || f["procs"] != 2 {
-		t.Errorf("parsed floors = %v", f)
+	if f.vals["speedup"] != 4.5 || f.vals["procs"] != 2 {
+		t.Errorf("parsed floors = %v", f.vals)
 	}
 	if got, want := f.String(), "procs=2,speedup=4.5"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
@@ -126,6 +155,10 @@ func TestFloorFlags(t *testing.T) {
 	}
 	if err := f.Set("novalue"); err == nil {
 		t.Error("expected error for missing =")
+	}
+	c := &boundFlags{flagName: "ceiling", vals: map[string]float64{}}
+	if err := c.Set("oops"); err == nil || !strings.Contains(err.Error(), "-ceiling") {
+		t.Errorf("ceiling error should name its flag, got %v", err)
 	}
 }
 

@@ -26,8 +26,13 @@ var zeroAllocManifest = map[string][]string{
 		"Counter.Inc",
 		"Gauge.Add",
 		"Gauge.Set",
+		"HDRHistogram.Observe",
+		"HDRHistogram.ObserveNs",
+		"HDRRecorder.Record",
+		"HDRRecorder.RecordSince",
 		"Histogram.Observe",
 		"NowNs",
+		"hdrIndex",
 		"nopRecorder.EndSpan",
 		"nopRecorder.SetAttr",
 		"nopRecorder.StartSpan",
@@ -37,7 +42,6 @@ var zeroAllocManifest = map[string][]string{
 		"Index.LookupName",
 		"Server.Lookup",
 		"Server.LookupName",
-		"snapshot.lookupTimed",
 		"tableIndex.lookup",
 		"tableIndex.walk",
 	},

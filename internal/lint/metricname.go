@@ -21,6 +21,7 @@ var (
 var registrationMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true,
 	"Func": true, "HistogramFunc": true,
+	"HDR": true, "HDRFunc": true,
 }
 
 // MetricName returns the metricname analyzer. At every obs metric

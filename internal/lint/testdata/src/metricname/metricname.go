@@ -14,6 +14,9 @@ func register(reg *obs.Registry, rec obs.Recorder, dyn string) {
 	reg.Histogram("fixture.size_bytes", 1, 2, 4) // explicit bounds: fine
 	reg.Gauge("fixture.lookups_total")           // want `metric "fixture\.lookups_total" already registered at`
 	reg.Counter(dyn)                             // want `metric name is not a constant string`
+	reg.HDR("fixture.Lat.NS")                    // want `name "fixture\.Lat\.NS" does not match`
+	reg.HDRFunc("fixture.lat_ns", nil)
+	reg.HDRFunc("fixture.lat_ns", nil) // want `metric "fixture\.lat_ns" already registered at`
 
 	id := rec.StartSpan("tune:bcast", obs.NoSpan)
 	rec.EndSpan(id)

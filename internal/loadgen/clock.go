@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"runtime"
+	"time"
+
+	"acclaim/internal/obs"
+)
+
+// Clock is the time source a load-generation worker runs against.
+// Production workers use the host monotonic clock (RealClock); tests
+// inject scripted clocks so both drivers produce byte-identical
+// reports regardless of goroutine interleaving. Each worker gets its
+// own Clock instance (Config.Clock is a per-worker factory), so
+// implementations need not be safe for concurrent use.
+type Clock interface {
+	// Now returns nanoseconds since an arbitrary fixed epoch.
+	Now() int64
+	// WaitUntil blocks until Now() >= t. Scheduled times already in
+	// the past return immediately — that is what lets the open-loop
+	// driver fall behind its schedule instead of silently stretching
+	// it (the coordinated-omission failure mode).
+	WaitUntil(t int64)
+}
+
+// realClock reads the obs monotonic clock. WaitUntil sleeps only the
+// bulk of gaps comfortably above the scheduler's wakeup jitter and
+// yield-spins the rest: a late arrival is charged to the latency
+// distribution by the coordinated-omission accounting, so sleep
+// overshoot at high offered rates would otherwise read as phantom
+// server latency. Burning a core to hold the schedule is the standard
+// load-generator trade.
+type realClock struct{}
+
+func (realClock) Now() int64 { return obs.NowNs() }
+
+func (realClock) WaitUntil(t int64) {
+	for {
+		d := t - obs.NowNs()
+		if d <= 0 {
+			return
+		}
+		if d > int64(2*time.Millisecond) {
+			time.Sleep(time.Duration(d - int64(time.Millisecond)))
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// RealClock returns the host-monotonic Clock used outside tests.
+func RealClock() Clock { return realClock{} }

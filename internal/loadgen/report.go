@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema identifies the load-report JSON layout; bump the suffix
+// on breaking changes so downstream CI gates fail loudly instead of
+// misreading fields.
+const ReportSchema = "acclaim.load_report/v1"
+
+// LatencySummary is the run-wide latency distribution, in nanoseconds,
+// exact to within one HDR bucket (~3.1% relative). Open-loop runs
+// measure from scheduled arrival, so queueing delay is included.
+type LatencySummary struct {
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+	MaxNs  float64 `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+// CollReport is one collective's slice of the run (completed requests
+// only; errors are not attributed to a collective).
+type CollReport struct {
+	Collective string  `json:"collective"`
+	Requests   uint64  `json:"requests"`
+	Misses     uint64  `json:"misses"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	P999Ns     float64 `json:"p999_ns"`
+}
+
+// SweepPoint is one offered-rate step of a saturation sweep.
+type SweepPoint struct {
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	P50Ns       float64 `json:"p50_ns"`
+	P99Ns       float64 `json:"p99_ns"`
+	P999Ns      float64 `json:"p999_ns"`
+	Errors      uint64  `json:"errors"`
+}
+
+// Report is the acclaim.load_report/v1 document.
+type Report struct {
+	Schema        string         `json:"schema"`
+	Mode          string         `json:"mode"`
+	Target        string         `json:"target"`
+	Seed          int64          `json:"seed"`
+	Workers       int            `json:"workers"`
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	Misses        uint64         `json:"misses"`
+	DurationNs    int64          `json:"duration_ns"`
+	ThroughputQPS float64        `json:"throughput_qps"`
+	OfferedQPS    float64        `json:"offered_qps,omitempty"`
+	Latency       LatencySummary `json:"latency"`
+	PerCollective []CollReport   `json:"per_collective"`
+	Sweep         []SweepPoint   `json:"sweep,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON. encoding/json field
+// order is declaration order, so identical runs produce identical
+// bytes — the determinism tests compare these buffers directly.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteBench renders the run as one Go-testing-style benchmark line,
+//
+//	Benchmark<name> 1 <duration> ns/op <qps> throughput_qps <p99> p99_ns
+//
+// which cmd/benchguard parses like any `go test -bench` output: the CI
+// load-smoke job pipes this into benchguard with a throughput_qps
+// floor and a p99_ns ceiling to gate serving-path SLOs.
+func (r *Report) WriteBench(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "Benchmark%s 1 %d ns/op %.2f throughput_qps %.0f p99_ns\n",
+		name, r.DurationNs, r.ThroughputQPS, r.Latency.P99Ns)
+	return err
+}

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/ruleserver"
+)
+
+// Query is one algorithm-selection request fired at a target.
+type Query struct {
+	Coll  coll.Collective
+	Nodes int
+	PPN   int
+	Msg   int
+}
+
+// Target is the system under load. Select resolves one query: ok
+// reports whether a rule covered it (a miss is a valid answer, not an
+// error); err reports transport or server failure, and err'd requests
+// are excluded from the latency distribution.
+type Target interface {
+	Select(q Query) (alg string, ok bool, err error)
+	// Name identifies the target in reports ("inproc", or the URL).
+	Name() string
+}
+
+// ServerTarget drives an in-process rule server: the pure serving-path
+// cost with no transport, the configuration the CI load-smoke gate
+// measures.
+type ServerTarget struct {
+	Server *ruleserver.Server
+}
+
+func (t ServerTarget) Select(q Query) (string, bool, error) {
+	alg, ok := t.Server.Lookup(q.Coll, q.Nodes, q.PPN, q.Msg)
+	return alg, ok, nil
+}
+
+func (t ServerTarget) Name() string { return "inproc" }
+
+// HTTPTarget drives an out-of-process server through the /v1/select
+// JSON API that acclaim-serve -http exposes (ruleserver.SelectHandler).
+type HTTPTarget struct {
+	URL    string
+	Client *http.Client // nil means http.DefaultClient
+}
+
+func (t HTTPTarget) Select(q Query) (string, bool, error) {
+	body, err := json.Marshal(ruleserver.SelectRequest{
+		Collective: q.Coll.String(), Nodes: q.Nodes, PPN: q.PPN, Msg: q.Msg,
+	})
+	if err != nil {
+		return "", false, err
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(t.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12)) //nolint:errcheck // drain for keep-alive
+		return "", false, fmt.Errorf("loadgen: %s: http %d", t.URL, resp.StatusCode)
+	}
+	var sr ruleserver.SelectResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&sr); err != nil {
+		return "", false, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return sr.Algorithm, sr.OK, nil
+}
+
+func (t HTTPTarget) Name() string { return t.URL }

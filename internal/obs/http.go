@@ -30,7 +30,11 @@ func promName(name string) string {
 // WritePrometheus renders every metric in Prometheus text exposition
 // format (version 0.0.4), in registration order. Counters become
 // `counter`, gauges and func metrics `gauge`, histograms `histogram`
-// with cumulative buckets and a `+Inf` catch-all.
+// with cumulative buckets and a `+Inf` catch-all. HDR recorders render
+// as a histogram over their occupied buckets plus `_p50`/`_p90`/
+// `_p99`/`_p999` quantile gauges. Metrics Describe'd with a non-empty
+// help string get a `# HELP` line before their `# TYPE` line;
+// undescribed metrics render byte-identically to earlier versions.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -41,10 +45,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.by {
 		by[k] = v
 	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
 	r.mu.Unlock()
 
 	for _, name := range names {
 		pn := promName(name)
+		if h := help[name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, h); err != nil {
+				return err
+			}
+		}
 		var err error
 		switch m := by[name].(type) {
 		case *Counter:
@@ -57,6 +70,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			err = writePromHist(w, pn, m.Snapshot())
 		case histFunc:
 			err = writePromHist(w, pn, m().Snapshot())
+		case *HDRRecorder:
+			err = writePromHDR(w, pn, m.Snapshot())
+		case hdrFunc:
+			err = writePromHDR(w, pn, m().Snapshot())
 		}
 		if err != nil {
 			return err
@@ -81,6 +98,45 @@ func writePromHist(w io.Writer, pn string, s HistSnapshot) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", pn, s.Sum, pn, s.Count)
 	return err
+}
+
+// writePromHDR renders an HDR snapshot: cumulative buckets over the
+// occupied part of the log-linear grid (the sparse form keeps a
+// ~1100-bucket grid scrape-friendly), `_sum`/`_count`/`_dropped`, and
+// the tail quantiles as `_p50`/`_p90`/`_p99`/`_p999` gauges so
+// dashboards get exact-within-resolution percentiles without
+// histogram_quantile interpolation error.
+func writePromHDR(w io.Writer, pn string, s HDRSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", pn, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", pn, s.Sum, pn, s.Count); err != nil {
+		return err
+	}
+	if s.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_dropped counter\n%s_dropped %d\n", pn, pn, s.Dropped); err != nil {
+			return err
+		}
+	}
+	for _, q := range []struct {
+		suffix string
+		v      float64
+	}{{"p50", s.P50}, {"p90", s.P90}, {"p99", s.P99}, {"p999", s.P999}} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %v\n", pn, q.suffix, pn, q.suffix, q.v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteJSON renders the registry snapshot as one JSON object keyed by

@@ -121,6 +121,7 @@ type Histogram struct {
 	counts  []atomic.Uint64 // len(bounds)+1; last is overflow
 	sumBits atomic.Uint64
 	count   atomic.Uint64
+	dropped atomic.Uint64
 }
 
 // NewHistogram builds a histogram with the given ascending upper
@@ -136,11 +137,19 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. NaN and negative observations are
+// rejected and counted in Dropped: a NaN would fall through every
+// bound comparison into the overflow bucket and poison the sum, and
+// nothing this package measures (durations, sizes, counts) is
+// legitimately negative.
 //
 //acclaim:zeroalloc
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if v != v || v < 0 {
+		h.dropped.Add(1)
 		return
 	}
 	i := 0
@@ -181,14 +190,24 @@ func (h *Histogram) Mean() float64 {
 	return 0
 }
 
+// Dropped returns the number of rejected (NaN or negative)
+// observations.
+func (h *Histogram) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
 // HistSnapshot is a point-in-time copy of a histogram, as embedded in
 // registry snapshots and run reports. Counts has one more entry than
 // Bounds; the last is the overflow bucket.
 type HistSnapshot struct {
-	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Dropped uint64    `json:"dropped,omitempty"`
+	Bounds  []float64 `json:"bounds"`
+	Counts  []uint64  `json:"counts"`
 }
 
 // Snapshot copies the histogram's current state. The per-bucket counts
@@ -199,10 +218,11 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		return HistSnapshot{}
 	}
 	s := HistSnapshot{
-		Count:  h.count.Load(),
-		Sum:    h.Sum(),
-		Bounds: append([]float64(nil), h.bounds...),
-		Counts: make([]uint64, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+		Dropped: h.dropped.Load(),
+		Bounds:  append([]float64(nil), h.bounds...),
+		Counts:  make([]uint64, len(h.counts)),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
@@ -210,25 +230,47 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
-// funcMetric reads a scalar on demand (gauge semantics); histFunc reads
-// a whole histogram on demand. Both let external state — like the rule
-// server's per-epoch snapshot counters — surface through the registry
-// without being owned by it.
+// funcMetric reads a scalar on demand (gauge semantics); histFunc and
+// hdrFunc read a whole histogram on demand. All three let external
+// state — like the rule server's per-epoch snapshot counters — surface
+// through the registry without being owned by it.
 type funcMetric func() float64
 type histFunc func() *Histogram
+type hdrFunc func() *HDRRecorder
 
 // Registry is a named collection of metrics. Handle getters are
 // get-or-create and safe for concurrent use; a nil *Registry returns
 // nil handles, which no-op. Output order is registration order.
 type Registry struct {
 	mu    sync.Mutex
-	order []string       // guarded by mu
-	by    map[string]any // guarded by mu
+	order []string          // guarded by mu
+	by    map[string]any    // guarded by mu
+	help  map[string]string // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{by: make(map[string]any)}
+	return &Registry{by: make(map[string]any), help: make(map[string]string)}
+}
+
+// Describe attaches a help string to a metric name, rendered as a
+// `# HELP` line by WritePrometheus. Metrics never described (or
+// described with "") render exactly as before — type line only — so
+// existing golden outputs are unchanged until a caller opts in.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if help == "" {
+		delete(r.help, name)
+		return
+	}
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
 }
 
 // lookup returns the metric under name, creating it with mk on first
@@ -288,6 +330,31 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// HDR returns the sharded high-dynamic-range latency recorder
+// registered under name, creating it with the default shard count
+// (one per GOMAXPROCS) on first use.
+func (r *Registry) HDR(name string) *HDRRecorder {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any { return NewHDRRecorder(0) })
+	h, ok := m.(*HDRRecorder)
+	if !ok {
+		panic("obs: " + name + " is not an HDR recorder")
+	}
+	return h
+}
+
+// HDRFunc registers an HDR recorder read on demand (the rule server's
+// per-epoch latency recorder, which must follow the atomic snapshot
+// pointer); fn may return nil, which renders as an empty histogram.
+func (r *Registry) HDRFunc(name string, fn func() *HDRRecorder) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, func() any { return hdrFunc(fn) })
+}
+
 // Func registers a scalar read on demand at snapshot/serve time —
 // the bridge for state that lives outside the registry (for example
 // the rule server's per-epoch snapshot counters, which must keep their
@@ -310,7 +377,8 @@ func (r *Registry) HistogramFunc(name string, fn func() *Histogram) {
 
 // Snapshot renders every metric to a JSON-marshalable value: counters
 // as uint64, gauges and func metrics as float64, histograms as
-// HistSnapshot. The map is fresh on every call.
+// HistSnapshot, HDR recorders as HDRSnapshot. The map is fresh on
+// every call.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
@@ -335,6 +403,10 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Histogram:
 			out[name] = m.Snapshot()
 		case histFunc:
+			out[name] = m().Snapshot()
+		case *HDRRecorder:
+			out[name] = m.Snapshot()
+		case hdrFunc:
 			out[name] = m().Snapshot()
 		}
 	}

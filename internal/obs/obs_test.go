@@ -217,6 +217,92 @@ func TestPrometheusOutput(t *testing.T) {
 	}
 }
 
+// TestPrometheusEdgeCases covers the rendering paths the main output
+// test does not: histFunc-backed histograms (the rule server's
+// read-on-demand latency view), zero-count histograms (a registered
+// metric that never saw traffic must still render a complete, parseable
+// histogram), and metric names whose characters need promName
+// flattening.
+func TestPrometheusEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	backing := NewHistogram(10, 100)
+	backing.Observe(50)
+	r.HistogramFunc("serve.lat.backed_ns", func() *Histogram { return backing })
+	r.HistogramFunc("serve.lat.nil_ns", func() *Histogram { return nil })
+	r.Histogram("serve.lat.empty_ns", 10, 100)
+	r.Counter("9weird-name.total")
+	r.Gauge("mixed:Case.metric")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		// histFunc-backed: buckets reflect the backing histogram's state.
+		"# TYPE serve_lat_backed_ns histogram",
+		`serve_lat_backed_ns_bucket{le="10"} 0`,
+		`serve_lat_backed_ns_bucket{le="100"} 1`,
+		`serve_lat_backed_ns_bucket{le="+Inf"} 1`,
+		"serve_lat_backed_ns_sum 50",
+		"serve_lat_backed_ns_count 1",
+		// histFunc returning nil renders as empty, not a panic.
+		`serve_lat_nil_ns_bucket{le="+Inf"} 0`,
+		"serve_lat_nil_ns_count 0",
+		// Zero-count histogram: every bucket present at 0.
+		`serve_lat_empty_ns_bucket{le="10"} 0`,
+		`serve_lat_empty_ns_bucket{le="100"} 0`,
+		`serve_lat_empty_ns_bucket{le="+Inf"} 0`,
+		"serve_lat_empty_ns_sum 0",
+		"serve_lat_empty_ns_count 0",
+		// promName flattening: leading digit and '-' become '_', ':' is
+		// legal in the Prometheus charset and survives.
+		"_weird_name_total 0",
+		"mixed:Case_metric 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusHelp pins the Describe contract: described metrics get
+// a # HELP line immediately before their # TYPE line, and undescribed
+// (or cleared) metrics render byte-identically to a registry that never
+// called Describe.
+func TestPrometheusHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.lookups_total")
+	r.Gauge("serve.depth")
+	r.Describe("serve.lookups_total", "total rule lookups served")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(),
+		"# HELP serve_lookups_total total rule lookups served\n# TYPE serve_lookups_total counter\n") {
+		t.Errorf("HELP line missing or misplaced:\n%s", b.String())
+	}
+
+	// Clearing the help restores the exact undescribed byte output.
+	r.Describe("serve.lookups_total", "")
+	plain := NewRegistry()
+	plain.Counter("serve.lookups_total")
+	plain.Gauge("serve.depth")
+	var cleared, never strings.Builder
+	if err := r.WritePrometheus(&cleared); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WritePrometheus(&never); err != nil {
+		t.Fatal(err)
+	}
+	if cleared.String() != never.String() {
+		t.Errorf("cleared help output differs from never-described output:\n%q\nvs\n%q",
+			cleared.String(), never.String())
+	}
+}
+
 func TestServeHTTP(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c.total").Inc()

@@ -1,0 +1,75 @@
+package ruleserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"acclaim/internal/coll"
+)
+
+// SelectRequest is the /v1/select input, as query parameters (GET) or
+// a JSON body (POST).
+type SelectRequest struct {
+	Collective string `json:"collective"`
+	Nodes      int    `json:"nodes"`
+	PPN        int    `json:"ppn"`
+	Msg        int    `json:"msg"`
+}
+
+// SelectResponse is the /v1/select output. A miss keeps OK=false with
+// no algorithm — a deployment-visible condition, not an HTTP error.
+type SelectResponse struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	OK        bool   `json:"ok"`
+}
+
+// SelectHandler serves the minimal selection API acclaim-serve mounts
+// at /v1/select and cmd/acclaim-loadgen drives in its out-of-process
+// mode: one lock-free lookup per request, JSON in and out. Malformed
+// input is a 400; a miss is a 200 with ok=false.
+func SelectHandler(srv *Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req SelectRequest
+		switch r.Method {
+		case http.MethodGet:
+			q := r.URL.Query()
+			req.Collective = q.Get("collective")
+			var err error
+			if req.Nodes, err = strconv.Atoi(q.Get("nodes")); err != nil {
+				http.Error(w, "bad nodes", http.StatusBadRequest)
+				return
+			}
+			if req.PPN, err = strconv.Atoi(q.Get("ppn")); err != nil {
+				http.Error(w, "bad ppn", http.StatusBadRequest)
+				return
+			}
+			if req.Msg, err = strconv.Atoi(q.Get("msg")); err != nil {
+				http.Error(w, "bad msg", http.StatusBadRequest)
+				return
+			}
+		case http.MethodPost:
+			if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+				http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		c, err := coll.ParseCollective(req.Collective)
+		if err != nil || req.Nodes <= 0 || req.PPN <= 0 || req.Msg < 0 {
+			http.Error(w, "bad request: want collective, nodes>0, ppn>0, msg>=0", http.StatusBadRequest)
+			return
+		}
+		alg, ok := srv.Lookup(c, req.Nodes, req.PPN, req.Msg)
+		if !ok {
+			alg = ""
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(SelectResponse{Algorithm: alg, OK: ok}); err != nil {
+			return
+		}
+	}
+}

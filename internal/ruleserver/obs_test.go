@@ -38,13 +38,31 @@ func TestRegisterMatchesStats(t *testing.T) {
 				t.Errorf("%s: %s = %v, want %v (stats %+v)", when, name, got, w, st)
 			}
 		}
-		lat, ok := snap["ruleserver.lookup_latency_ns"].(obs.HistSnapshot)
+		lat, ok := snap["ruleserver.lookup_latency_ns"].(obs.HDRSnapshot)
 		if !ok {
 			t.Fatalf("%s: lookup_latency_ns is %T", when, snap["ruleserver.lookup_latency_ns"])
 		}
-		// Latency is sampled (1-in-N lookups), so only bound it.
-		if lat.Count > uint64(st.Hits+st.Misses) {
-			t.Errorf("%s: latency samples %d exceed lookups %d", when, lat.Count, st.Hits+st.Misses)
+		// Every lookup is recorded: the histogram population equals the
+		// lookup counters exactly.
+		if lat.Count != uint64(st.Hits+st.Misses) {
+			t.Errorf("%s: latency samples %d != lookups %d", when, lat.Count, st.Hits+st.Misses)
+		}
+		// Per-collective counters roll up to the totals.
+		var perLookups, perMisses float64
+		for name, v := range snap {
+			if !strings.HasPrefix(name, "ruleserver.") {
+				continue
+			}
+			if strings.HasSuffix(name, ".lookups") && strings.Count(name, ".") == 2 {
+				perLookups += v.(float64)
+			}
+			if strings.HasSuffix(name, ".misses") && strings.Count(name, ".") == 2 {
+				perMisses += v.(float64)
+			}
+		}
+		if perLookups != float64(st.Hits+st.Misses) || perMisses != float64(st.Misses) {
+			t.Errorf("%s: per-collective rollup %v/%v != totals %d/%d",
+				when, perLookups, perMisses, st.Hits+st.Misses, st.Misses)
 		}
 	}
 

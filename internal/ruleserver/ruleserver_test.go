@@ -157,7 +157,7 @@ func TestServerSwapAndStats(t *testing.T) {
 	if err := srv.Swap(fixtureFile()); err != nil {
 		t.Fatal(err)
 	}
-	// 512 lookups: counts both sampled (every 256th) and unsampled paths.
+	// 512 lookups: every one is counted and latency-recorded.
 	for i := 0; i < 512; i++ {
 		if _, ok := srv.Lookup(coll.Bcast, 4, 2, 64); !ok {
 			t.Fatal("lookup missed after swap")
@@ -176,8 +176,20 @@ func TestServerSwapAndStats(t *testing.T) {
 	if st.Tables != 2 || st.Rules != 7 {
 		t.Errorf("tables/rules = %d/%d, want 2/7", st.Tables, st.Rules)
 	}
-	if st.AvgLatency < 0 {
-		t.Errorf("negative sampled latency %v", st.AvgLatency)
+	if st.P50 <= 0 || st.P99 < st.P50 || st.P999 < st.P99 {
+		t.Errorf("latency quantiles not positive/monotone: p50=%v p99=%v p999=%v", st.P50, st.P99, st.P999)
+	}
+	wantPer := []ruleserver.CollStats{
+		{Collective: "allgather", Lookups: 1, Misses: 1},
+		{Collective: "bcast", Lookups: 512, Misses: 0},
+	}
+	if len(st.PerCollective) != len(wantPer) {
+		t.Fatalf("PerCollective = %+v, want %+v", st.PerCollective, wantPer)
+	}
+	for i, want := range wantPer {
+		if st.PerCollective[i] != want {
+			t.Errorf("PerCollective[%d] = %+v, want %+v", i, st.PerCollective[i], want)
+		}
 	}
 
 	// A failed swap must leave the old snapshot (and its counters) serving.
