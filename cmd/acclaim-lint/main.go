@@ -1,14 +1,18 @@
 // Command acclaim-lint runs the project's invariant analyzers
 // (internal/lint) over the tree: determinism in the tuning packages,
-// zero-alloc hot-path annotations, lock discipline, and obs metric
-// naming. It is stdlib-only — go/parser and go/types with the source
-// importer — so CI needs nothing beyond the Go toolchain.
+// zero-alloc hot-path annotations, lock discipline, obs metric naming,
+// frozen-snapshot immutability, atomic-access discipline, and goroutine
+// lifecycle ownership. It is stdlib-only — go/parser and go/types with
+// the source importer — so CI needs nothing beyond the Go toolchain.
+// Package load/type-check is parallelized across GOMAXPROCS.
 //
 // Usage:
 //
 //	go run ./cmd/acclaim-lint ./...
 //	go run ./cmd/acclaim-lint -json ./... > lint.json
 //	go run ./cmd/acclaim-lint -checks determinism,metricname ./internal/core
+//	go run ./cmd/acclaim-lint -checks frozen,atomicdiscipline,goroutinelife ./...
+//	go run ./cmd/acclaim-lint -v ./...
 //
 // Exit codes (shared with cmd/benchguard): 0 = clean, 1 = findings,
 // 2 = tool error (bad flags, unparseable or untypecheckable source).
@@ -23,7 +27,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"acclaim/internal/lint"
 )
@@ -31,6 +37,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "write the diagnostics array as JSON to stdout")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	verbose := flag.Bool("v", false, "report load time and per-analyzer timing to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: acclaim-lint [flags] [packages]\n\n"+
@@ -59,11 +66,22 @@ func main() {
 		}
 	}
 
+	loadStart := time.Now()
 	pkgs, err := lint.Load(root, patterns...)
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.Run(pkgs, analyzers)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "acclaim-lint: loaded %d package(s) in %v (%d workers)\n",
+			len(pkgs), time.Since(loadStart).Round(time.Millisecond), runtime.GOMAXPROCS(0))
+	}
+	diags, timings := lint.RunTimed(pkgs, analyzers, nil)
+	if *verbose {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "acclaim-lint: %-16s %v\n",
+				tm.Check, time.Duration(tm.Ns).Round(10*time.Microsecond))
+		}
+	}
 
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)

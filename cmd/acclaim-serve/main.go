@@ -80,8 +80,15 @@ func main() {
 		fatal(err)
 	}
 	if *debugAddr != "" {
+		//acclaim:goroutine-owner lives for the whole process by design; a failed listen exits via fatal
 		go serveDebug(srv, *debugAddr)
 	}
+
+	// watchDone stops the rule-file poller: closed when streaming input
+	// ends (so the final stats read does not race a hot swap); never
+	// closed in -http mode, where serving — and polling — lasts until
+	// the process dies.
+	watchDone := make(chan struct{})
 
 	if len(queries) > 0 {
 		for _, q := range queries {
@@ -97,7 +104,7 @@ func main() {
 		}
 	} else if *httpAddr != "" {
 		if *watch > 0 {
-			go watchFile(srv, *rulesPath, *watch)
+			go watchFile(srv, *rulesPath, *watch, watchDone)
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/v1/select", ruleserver.SelectHandler(srv))
@@ -105,7 +112,7 @@ func main() {
 		fatal(http.ListenAndServe(*httpAddr, mux))
 	} else {
 		if *watch > 0 {
-			go watchFile(srv, *rulesPath, *watch)
+			go watchFile(srv, *rulesPath, *watch, watchDone)
 		}
 		sc := bufio.NewScanner(os.Stdin)
 		for sc.Scan() {
@@ -126,6 +133,7 @@ func main() {
 		if err := sc.Err(); err != nil {
 			fatal(err)
 		}
+		close(watchDone)
 	}
 
 	if *stats {
@@ -200,14 +208,24 @@ func serveDebug(srv *ruleserver.Server, addr string) {
 }
 
 // watchFile polls the rule file's mtime and hot-swaps the snapshot when
-// it changes. A file that momentarily fails to load (mid-rewrite, or
-// invalid) keeps the previous snapshot serving; the error is logged.
-func watchFile(srv *ruleserver.Server, path string, every time.Duration) {
+// it changes, until done is closed. A file that momentarily fails to
+// load (mid-rewrite, or invalid) keeps the previous snapshot serving;
+// the error is logged. (This used to loop over time.Tick, which can
+// never be stopped and leaked its ticker past the end of streaming
+// input — the goroutinelife analyzer caught it.)
+func watchFile(srv *ruleserver.Server, path string, every time.Duration, done <-chan struct{}) {
 	var last time.Time
 	if fi, err := os.Stat(path); err == nil {
 		last = fi.ModTime()
 	}
-	for range time.Tick(every) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
 		fi, err := os.Stat(path)
 		if err != nil || !fi.ModTime().After(last) {
 			continue

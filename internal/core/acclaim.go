@@ -122,6 +122,8 @@ func (c Config) withDefaults() Config {
 
 // tunerMetrics are the tuner's pre-resolved registry handles; all nil
 // (no-op) when no Registry is configured.
+//
+//acclaim:frozen
 type tunerMetrics struct {
 	rounds    *obs.Counter   // tuner.rounds_total: active-learning rounds
 	samples   *obs.Counter   // tuner.samples_total: training samples collected

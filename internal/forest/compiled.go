@@ -51,6 +51,8 @@ const blockQ = 64
 // arrays are read-only after Compile and per-call scratch comes from
 // an internal pool. Batch results are bit-identical to the Forest's
 // pointer-walk methods for every Workers setting.
+//
+//acclaim:frozen
 type Kernel struct {
 	nTrees    int
 	nFeatures int

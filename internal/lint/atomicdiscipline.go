@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicDiscipline returns the atomicdiscipline analyzer: the full
+// promotion of lockcheck's old half-atomic heuristic into a vet-style,
+// project-aware check. Per package it flags:
+//
+//   - mixed access: a field touched through sync/atomic anywhere in the
+//     package (atomic.LoadX(&s.f) and friends) must never be read or
+//     written plainly elsewhere — half-atomic fields are how torn reads
+//     pass review;
+//   - smuggled copies: assigning, passing, returning, or ranging a
+//     value whose type contains sync/atomic state (atomic.Uint64 /
+//     atomic.Pointer fields, directly or through embedded structs and
+//     arrays) copies that state non-atomically and silently forks it;
+//     a direct copy of an atomic.* value gets a "use Load" message, a
+//     by-value method receiver on an atomic-bearing type gets its own;
+//   - post-publish mutation: a value obtained from an atomic.Pointer's
+//     Load or Swap is visible to (or was visible to) lock-free readers;
+//     writing through it afterwards is a data race even though the
+//     pointer itself was handled atomically.
+//
+// Slices, maps, pointers, and channels do not propagate "contains
+// atomics": copying the header or pointer shares, not forks, the
+// underlying state (the HDRRecorder `shards := r.shards` idiom stays
+// legal). The post-publish pass tracks one level of local aliasing
+// within a function; cross-function flows are the frozen analyzer's
+// job via its constructor closure.
+func AtomicDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "atomicdiscipline",
+		Doc:  "forbid mixed atomic/plain field access, by-value copies of atomic-bearing values, and mutation after atomic.Pointer publish",
+		Run:  func(p *Package) []Diagnostic { return p.atomicDiscipline() },
+	}
+}
+
+func (p *Package) atomicDiscipline() []Diagnostic {
+	var ds []Diagnostic
+	ds = append(ds, p.halfAtomic()...)
+	ds = append(ds, p.atomicCopies()...)
+	ds = append(ds, p.postPublishWrites()...)
+	return ds
+}
+
+// halfAtomic is the package-wide mixed atomic/plain access scan
+// (formerly part of lockcheck).
+func (p *Package) halfAtomic() []Diagnostic {
+	var ds []Diagnostic
+
+	// Pass 1: fields whose address reaches a sync/atomic call, and the
+	// positions of those sanctioned accesses.
+	atomicField := map[types.Object]bool{}
+	atomicSite := map[token.Pos]bool{}
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.funcObj(call)
+			if fn == nil || pkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					atomicField[s.Obj()] = true
+					atomicSite[sel.Sel.Pos()] = true
+				}
+			}
+			return true
+		})
+	})
+	if len(atomicField) == 0 {
+		return ds
+	}
+
+	// Pass 2: every other access to those fields.
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := p.Info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			if atomicField[s.Obj()] && !atomicSite[sel.Sel.Pos()] {
+				ds = append(ds, p.diag("atomicdiscipline", sel.Sel.Pos(),
+					"field %s is accessed via sync/atomic elsewhere in this package; plain access here can tear", s.Obj().Name()))
+			}
+			return true
+		})
+	})
+	return ds
+}
+
+// atomicCopies flags by-value copies of atomic-bearing values wherever
+// a copy is born: assignments, call arguments, returns, range value
+// variables, and by-value method receivers.
+func (p *Package) atomicCopies() []Diagnostic {
+	var ds []Diagnostic
+	qual := types.RelativeTo(p.TPkg)
+
+	flagCopy := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if !copyShaped(e, p) {
+			return
+		}
+		t := p.Info.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if isAtomicNamed(t) {
+			ds = append(ds, p.diag("atomicdiscipline", e.Pos(),
+				"copies atomic value of type %s; use its Load method", types.TypeString(t, qual)))
+			return
+		}
+		if containsAtomic(t) {
+			ds = append(ds, p.diag("atomicdiscipline", e.Pos(),
+				"copies %s, which contains sync/atomic state; use a pointer", types.TypeString(t, qual)))
+		}
+	}
+
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			rt := p.Info.TypeOf(fd.Recv.List[0].Type)
+			if rt != nil {
+				if _, isPtr := rt.(*types.Pointer); !isPtr && containsAtomic(rt) {
+					ds = append(ds, p.diag("atomicdiscipline", fd.Recv.List[0].Pos(),
+						"method %s has a by-value receiver of atomic-bearing type %s; use a pointer receiver",
+						fd.Name.Name, types.TypeString(rt, qual)))
+				}
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					flagCopy(rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					flagCopy(v)
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					flagCopy(arg)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					flagCopy(res)
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				vt := p.Info.TypeOf(n.Value)
+				if vt == nil {
+					return true
+				}
+				if isAtomicNamed(vt) || containsAtomic(vt) {
+					ds = append(ds, p.diag("atomicdiscipline", n.Value.Pos(),
+						"range copies elements of atomic-bearing type %s; range over indices and take addresses",
+						types.TypeString(vt, qual)))
+				}
+			}
+			return true
+		})
+	})
+	return ds
+}
+
+// postPublishWrites flags writes through values obtained from an
+// atomic.Pointer's Load or Swap: those values are (or were) visible to
+// lock-free readers, so mutating them races no matter how atomically
+// the pointer itself is handled.
+func (p *Package) postPublishWrites() []Diagnostic {
+	var ds []Diagnostic
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		// published[obj] = "Load" or "Swap" that produced it.
+		published := map[types.Object]string{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.objOf(id)
+				if obj == nil {
+					continue
+				}
+				if via := p.atomicPointerSource(rhs); via != "" {
+					published[obj] = via
+					continue
+				}
+				// One level of local re-aliasing: w := v.
+				if src, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					if via, ok := published[p.objOf(src)]; ok {
+						published[obj] = via
+					}
+				}
+			}
+			return true
+		})
+		if len(published) == 0 {
+			return
+		}
+		flagWrite := func(lhs ast.Expr) {
+			lhs = ast.Unparen(lhs)
+			if _, rebind := lhs.(*ast.Ident); rebind {
+				return
+			}
+			if obj, ok := rootIdentObj(lhs, p); ok {
+				if via, pub := published[obj]; pub {
+					ds = append(ds, p.diag("atomicdiscipline", lhs.Pos(),
+						"writes through a value obtained from atomic.Pointer.%s; published snapshots are read-only", via))
+				}
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					flagWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				flagWrite(n.X)
+			}
+			return true
+		})
+	})
+	return ds
+}
+
+// atomicPointerSource reports whether e is a Load or Swap call on an
+// atomic.Pointer receiver, returning the method name ("" if not).
+func (p *Package) atomicPointerSource(e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := p.funcObj(call)
+	if fn == nil || (fn.Name() != "Load" && fn.Name() != "Swap") {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if atomicPointerElem(recv) == nil {
+		return ""
+	}
+	return fn.Name()
+}
+
+// rootIdentObj walks a selector/index/star chain to its base identifier
+// and resolves it; ok is false when the chain has no identifier base or
+// the expression is a bare identifier (a rebind, not a write-through).
+func rootIdentObj(e ast.Expr, p *Package) (types.Object, bool) {
+	sawChain := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			sawChain, e = true, x.X
+		case *ast.IndexExpr:
+			sawChain, e = true, x.X
+		case *ast.StarExpr:
+			sawChain, e = true, x.X
+		case *ast.Ident:
+			if !sawChain {
+				return nil, false
+			}
+			obj := p.objOf(x)
+			return obj, obj != nil
+		default:
+			return nil, false
+		}
+	}
+}
+
+// copyShaped reports whether e reads an existing addressable-ish value
+// (so evaluating it as a value makes a copy): a variable identifier, a
+// field selection, an element index, or a dereference. Calls, composite
+// literals, and conversions construct fresh values and are not copies
+// of shared state.
+func copyShaped(e ast.Expr, p *Package) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		_, isVar := p.objOf(e).(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		s := p.Info.Selections[e]
+		return s != nil && s.Kind() == types.FieldVal
+	case *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// isAtomicNamed reports whether t itself is a sync/atomic named type.
+func isAtomicNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// containsAtomic reports whether t embeds sync/atomic state by value:
+// an atomic.* type reached through struct fields, arrays, or named
+// underlying types. Pointers, slices, maps, channels, and interfaces do
+// not propagate — copying those shares rather than forks the state.
+func containsAtomic(t types.Type) bool {
+	return containsAtomicRec(t, map[types.Type]bool{})
+}
+
+func containsAtomicRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isAtomicNamed(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomicRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomicRec(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph is the shared lightweight call graph the interprocedural
+// analyzers (frozen, goroutinelife) reason over: class-hierarchy
+// analysis (CHA) over go/types, scoped to one package. Nodes are the
+// package's declared functions and methods; edges are
+//
+//   - static calls (identifier or selector resolving directly to an
+//     in-package declaration), and
+//   - interface method calls, resolved CHA-style to every in-package
+//     concrete method of the same name whose receiver type implements
+//     the interface.
+//
+// Function literals are attributed to their enclosing declaration:
+// a call made inside a closure is an edge from the declaring function.
+// That is the right granularity for "which declared function's body can
+// reach this write" questions; goroutinelife, which cares about the
+// literal itself, walks the AST directly and only uses the graph to
+// resolve `go f(...)` spawns of declared functions.
+//
+// The graph also records which declared functions are address-taken
+// (referenced outside call position — stored in a variable, passed as a
+// value, registered as a handler). An address-taken function can be
+// called from anywhere, so closure computations must treat it as having
+// an unknown external caller.
+type callGraph struct {
+	// decl maps each declared function object to its syntax.
+	decl map[*types.Func]*ast.FuncDecl
+	// callers[callee] is the set of in-package declared functions with
+	// a (possibly CHA-approximated) call edge to callee.
+	callers map[*types.Func]map[*types.Func]bool
+	// addrTaken marks functions referenced outside call position.
+	addrTaken map[*types.Func]bool
+}
+
+// graph builds (once, cached) the package's call graph.
+func (p *Package) graph() *callGraph {
+	if p.cg != nil {
+		return p.cg
+	}
+	g := &callGraph{
+		decl:      map[*types.Func]*ast.FuncDecl{},
+		callers:   map[*types.Func]map[*types.Func]bool{},
+		addrTaken: map[*types.Func]bool{},
+	}
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+			g.decl[fn] = fd
+		}
+	})
+
+	// Concrete methods declared in this package, by name, for CHA
+	// resolution of interface calls.
+	methodsByName := map[string][]*types.Func{}
+	for fn := range g.decl {
+		if recvNamed(fn) != nil {
+			methodsByName[fn.Name()] = append(methodsByName[fn.Name()], fn)
+		}
+	}
+
+	addEdge := func(caller, callee *types.Func) {
+		if _, ok := g.decl[callee]; !ok {
+			return
+		}
+		set := g.callers[callee]
+		if set == nil {
+			set = map[*types.Func]bool{}
+			g.callers[callee] = set
+		}
+		set[caller] = true
+	}
+
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		caller, ok := p.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		// Identifiers used as call targets, so the address-taken pass
+		// below can exclude them.
+		calleeIdents := map[*ast.Ident]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				calleeIdents[fun] = true
+			case *ast.SelectorExpr:
+				calleeIdents[fun.Sel] = true
+			}
+			fn := p.funcObj(call)
+			if fn == nil {
+				return true
+			}
+			if _, declared := g.decl[fn]; declared {
+				addEdge(caller, fn)
+				return true
+			}
+			// Interface method call: CHA over in-package concrete
+			// methods of the same name whose receiver implements the
+			// interface.
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+			if !ok {
+				return true
+			}
+			for _, m := range methodsByName[fn.Name()] {
+				recv := recvNamed(m)
+				if recv == nil {
+					continue
+				}
+				if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+					addEdge(caller, m)
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+				if _, declared := g.decl[fn]; declared {
+					g.addrTaken[fn] = true
+				}
+			}
+			return true
+		})
+	})
+	p.cg = g
+	return g
+}
+
+// privateClosure grows seed into the set of functions reachable only
+// from seed: a declared function joins when it is unexported, not
+// address-taken, has at least one in-package caller, and every caller
+// is already in the set. Exported functions and address-taken functions
+// never join (they can be called from outside the seed's control), so
+// the result is a sound over-approximation of "code that runs only on
+// behalf of the seed set" — the frozen analyzer's constructor closure.
+func (g *callGraph) privateClosure(seed map[*types.Func]bool) map[*types.Func]bool {
+	out := make(map[*types.Func]bool, len(seed))
+	for fn := range seed {
+		out[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.decl {
+			if out[fn] || fn.Exported() || g.addrTaken[fn] {
+				continue
+			}
+			callers := g.callers[fn]
+			if len(callers) == 0 {
+				continue
+			}
+			all := true
+			for c := range callers {
+				if !out[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				out[fn] = true
+				changed = true
+			}
+		}
+	}
+	return out
+}

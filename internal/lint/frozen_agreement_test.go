@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// frozenPublishManifest is the project's declared set of hot-swap
+// publish points: for each package, the named types published through
+// an atomic.Pointer[T]. Publishing through an atomic.Pointer is the
+// strongest concurrency claim in the tree — readers touch the value
+// with no lock at all — so every such type must both appear here and
+// carry an //acclaim:frozen annotation at its declaration (the frozen
+// analyzer auto-freezes published types anyway; the annotation makes
+// the contract visible at the type, and this test makes adding a new
+// snapshot type without declaring it a build break, not a silent
+// opt-out).
+var frozenPublishManifest = map[string][]string{
+	"internal/ruleserver": {"snapshot"},
+}
+
+// publishSite is one atomic.Pointer[T] occurrence in non-test source.
+type publishSite struct {
+	pkg  string // module-relative package dir
+	elem string // type argument as written ("snapshot", "pkg.T")
+	file string
+	line int
+}
+
+// TestFrozenPublishAgreement scans every non-test file in the module
+// for atomic.Pointer[T] type expressions and asserts each is covered:
+// the element type is listed in frozenPublishManifest and annotated
+// //acclaim:frozen in its declaring package, or the site carries an
+// explicit `//acclaim:allow frozen <reason>`. Stale manifest entries
+// (no remaining publish site) fail too.
+func TestFrozenPublishAgreement(t *testing.T) {
+	root := "../.."
+	var sites []publishSite
+	frozenByPkg := map[string]map[string]bool{} // pkg dir -> annotated type names
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		relPkg, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		relPkg = filepath.ToSlash(relPkg)
+
+		atomicName, imported := atomicImportName(f)
+
+		// Allow ranges for `//acclaim:allow frozen` in this file
+		// (free-standing: own line and the next).
+		type span struct{ from, to int }
+		var allows []span
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == "allow" &&
+					strings.HasPrefix(strings.TrimSpace(m[2]), "frozen") {
+					line := fset.Position(c.Pos()).Line
+					allows = append(allows, span{line, line + 1})
+				}
+			}
+		}
+		allowed := func(line int) bool {
+			for _, s := range allows {
+				if line >= s.from && line <= s.to {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Annotated frozen types in this file.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasFrozenDirective(gd, ts) {
+					if frozenByPkg[relPkg] == nil {
+						frozenByPkg[relPkg] = map[string]bool{}
+					}
+					frozenByPkg[relPkg][ts.Name.Name] = true
+				}
+			}
+		}
+
+		if !imported {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ix.X.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Pointer" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != atomicName {
+				return true
+			}
+			pos := fset.Position(ix.Pos())
+			if allowed(pos.Line) {
+				return true
+			}
+			sites = append(sites, publishSite{
+				pkg:  relPkg,
+				elem: typeExprString(ix.Index),
+				file: filepath.ToSlash(path),
+				line: pos.Line,
+			})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]map[string]bool{}
+	for _, s := range sites {
+		inManifest := false
+		for _, name := range frozenPublishManifest[s.pkg] {
+			if name == s.elem {
+				inManifest = true
+			}
+		}
+		if !inManifest {
+			t.Errorf("%s:%d: atomic.Pointer[%s] publish site not in frozenPublishManifest and not //acclaim:allow frozen'd; declare the snapshot type",
+				s.file, s.line, s.elem)
+		}
+		// Cross-package elements (pkg.T) are checked in their declaring
+		// package only when that package is in the manifest; same-package
+		// elements must be annotated where they are declared.
+		if !strings.Contains(s.elem, ".") && !frozenByPkg[s.pkg][s.elem] {
+			t.Errorf("%s:%d: published type %s lacks an //acclaim:frozen annotation at its declaration in %s",
+				s.file, s.line, s.elem, s.pkg)
+		}
+		if seen[s.pkg] == nil {
+			seen[s.pkg] = map[string]bool{}
+		}
+		seen[s.pkg][s.elem] = true
+	}
+
+	for pkg, names := range frozenPublishManifest {
+		for _, name := range names {
+			if !seen[pkg][name] {
+				t.Errorf("frozenPublishManifest lists %s.%s but no atomic.Pointer[%s] site exists in %s; remove the stale entry",
+					pkg, name, name, pkg)
+			}
+		}
+	}
+}
+
+// atomicImportName returns the local name sync/atomic is imported
+// under in f, and whether it is imported at all.
+func atomicImportName(f *ast.File) (string, bool) {
+	for _, spec := range f.Imports {
+		if strings.Trim(spec.Path.Value, `"`) != "sync/atomic" {
+			continue
+		}
+		if spec.Name != nil {
+			return spec.Name.Name, true
+		}
+		return "atomic", true
+	}
+	return "", false
+}
+
+// hasFrozenDirective reports whether the type spec carries
+// //acclaim:frozen in its (or its sole-spec GenDecl's) doc or line
+// comment — the same coverage parseDirectives applies.
+func hasFrozenDirective(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	var groups []*ast.CommentGroup
+	if gd.Doc != nil && len(gd.Specs) == 1 {
+		groups = append(groups, gd.Doc)
+	}
+	if ts.Doc != nil {
+		groups = append(groups, ts.Doc)
+	}
+	if ts.Comment != nil {
+		groups = append(groups, ts.Comment)
+	}
+	for _, g := range groups {
+		for _, c := range g.List {
+			if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == "frozen" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// typeExprString renders a type-argument expression the way it was
+// written, for Ident / pkg.Ident / *T shapes.
+func typeExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name + "." + e.Sel.Name
+		}
+	case *ast.StarExpr:
+		return "*" + typeExprString(e.X)
+	}
+	return "?"
+}

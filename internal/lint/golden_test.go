@@ -19,7 +19,10 @@ import (
 //
 // Each regexp is matched against "[check] message" of a diagnostic on
 // that line; every diagnostic must be wanted and every want matched.
-var fixtures = []string{"determinism", "zeroalloc", "lockcheck", "metricname", "directive"}
+var fixtures = []string{
+	"determinism", "zeroalloc", "lockcheck", "metricname", "directive",
+	"frozen", "atomicdiscipline", "goroutinelife",
+}
 
 func loadFixtures(t *testing.T) []*Package {
 	t.Helper()
@@ -46,6 +49,9 @@ func fixtureAnalyzers() []*Analyzer {
 		ZeroAlloc(),
 		LockCheck(),
 		MetricName(),
+		Frozen(),
+		AtomicDiscipline(),
+		GoroutineLife(),
 	}
 }
 

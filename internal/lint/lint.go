@@ -16,6 +16,19 @@
 //     unique per package, and host-time histograms end in `_ns` — the
 //     run-report golden normalisation keys on that suffix (see
 //     metricname.go).
+//   - frozen: types annotated `//acclaim:frozen` — and every type
+//     published through atomic.Pointer[T] — must be deep-immutable
+//     after construction: no interior writes reachable outside the
+//     constructor closure, no interior addresses escaping (frozen.go,
+//     over the shared CHA call graph in callgraph.go).
+//   - atomicdiscipline: no mixed atomic/plain access to a field, no
+//     by-value copies of atomic-bearing structs, no mutation of values
+//     already published through an atomic.Pointer
+//     (atomicdiscipline.go).
+//   - goroutinelife: every `go` statement has a provable termination
+//     edge — a channel receive / ctx.Done select, a WaitGroup
+//     Done+Wait pairing, or an `//acclaim:goroutine-owner` annotation
+//     naming the shutdown path (goroutinelife.go).
 //
 // Any finding can be suppressed in source with
 //
@@ -36,6 +49,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned in repo-relative coordinates.
@@ -85,7 +99,11 @@ type Package struct {
 
 	allows    []allowDirective
 	zeroAlloc []*ast.FuncDecl // functions annotated //acclaim:zeroalloc
+	frozen    []*ast.TypeSpec // types annotated //acclaim:frozen
+	owners    []lineDirective // //acclaim:goroutine-owner coverage ranges
 	hygiene   []Diagnostic    // malformed-directive findings
+
+	cg *callGraph // lazily built by graph()
 }
 
 // allowDirective is one parsed //acclaim:allow suppression: it covers
@@ -97,10 +115,26 @@ type allowDirective struct {
 	ToLine   int
 }
 
-// CheckNames are the valid <check> arguments of //acclaim:allow.
-var CheckNames = []string{"determinism", "zeroalloc", "lockcheck", "metricname", "directive"}
+// lineDirective is a positional directive (such as
+// //acclaim:goroutine-owner) covering File lines [FromLine, ToLine].
+type lineDirective struct {
+	File     string
+	FromLine int
+	ToLine   int
+}
 
-var directiveRe = regexp.MustCompile(`^//acclaim:(allow|zeroalloc)(?:\s+(.*))?$`)
+// covers reports whether the directive covers (file, line).
+func (d lineDirective) covers(file string, line int) bool {
+	return d.File == file && line >= d.FromLine && line <= d.ToLine
+}
+
+// CheckNames are the valid <check> arguments of //acclaim:allow.
+var CheckNames = []string{
+	"determinism", "zeroalloc", "lockcheck", "metricname",
+	"frozen", "atomicdiscipline", "goroutinelife", "directive",
+}
+
+var directiveRe = regexp.MustCompile(`^//acclaim:(allow|zeroalloc|frozen|goroutine-owner)(?:\s+(.*))?$`)
 
 // pos converts a token.Pos to repo-relative coordinates.
 func (p *Package) pos(at token.Pos) (file string, line, col int) {
@@ -120,8 +154,12 @@ func (p *Package) diag(check string, at token.Pos, format string, args ...any) D
 
 // parseDirectives scans every comment in the package for acclaim
 // directives: //acclaim:allow suppressions (function-doc ones cover the
-// whole body; free-standing ones cover their own line and the next) and
-// //acclaim:zeroalloc annotations on function declarations.
+// whole body; free-standing ones cover their own line and the next),
+// //acclaim:zeroalloc annotations on function declarations,
+// //acclaim:frozen annotations on type declarations, and
+// //acclaim:goroutine-owner annotations naming the shutdown path of a
+// go statement (free-standing ones cover their own line and the next;
+// function-doc ones cover every go statement in the function).
 func (p *Package) parseDirectives() {
 	known := make(map[string]bool, len(CheckNames))
 	for _, c := range CheckNames {
@@ -137,6 +175,36 @@ func (p *Package) parseDirectives() {
 			}
 			for _, c := range fd.Doc.List {
 				docComments[c] = fd
+			}
+		}
+		// Type-scoped directives: a GenDecl doc comment covers its sole
+		// spec; per-spec doc and line comments cover that spec.
+		typeComments := map[*ast.Comment]*ast.TypeSpec{}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if gd.Doc != nil && len(gd.Specs) == 1 {
+					for _, c := range gd.Doc.List {
+						typeComments[c] = ts
+					}
+				}
+				if ts.Doc != nil {
+					for _, c := range ts.Doc.List {
+						typeComments[c] = ts
+					}
+				}
+				if ts.Comment != nil {
+					for _, c := range ts.Comment.List {
+						typeComments[c] = ts
+					}
+				}
 			}
 		}
 		for _, cg := range f.Comments {
@@ -155,6 +223,28 @@ func (p *Package) parseDirectives() {
 						continue
 					}
 					p.zeroAlloc = append(p.zeroAlloc, fd)
+				case "frozen":
+					ts := typeComments[c]
+					if ts == nil {
+						p.hygiene = append(p.hygiene, p.diag("directive", c.Pos(),
+							"//acclaim:frozen must be in a type declaration's doc or line comment"))
+						continue
+					}
+					p.frozen = append(p.frozen, ts)
+				case "goroutine-owner":
+					if rest == "" {
+						p.hygiene = append(p.hygiene, p.diag("directive", c.Pos(),
+							"//acclaim:goroutine-owner needs the shutdown path spelled out"))
+						continue
+					}
+					file, line, _ := p.pos(c.Pos())
+					ld := lineDirective{File: file, FromLine: line, ToLine: line + 1}
+					if fd != nil {
+						_, from, _ := p.pos(fd.Pos())
+						_, to, _ := p.pos(fd.End())
+						ld.FromLine, ld.ToLine = from, to
+					}
+					p.owners = append(p.owners, ld)
 				case "allow":
 					check, reason, _ := strings.Cut(rest, " ")
 					if !known[check] {
@@ -194,20 +284,44 @@ func (p *Package) suppressed(d Diagnostic) bool {
 // ZeroAllocFuncs returns the annotated function declarations.
 func (p *Package) ZeroAllocFuncs() []*ast.FuncDecl { return p.zeroAlloc }
 
+// Timing is one analyzer's wall time across every package of a run, as
+// reported by acclaim-lint -v.
+type Timing struct {
+	Check string
+	Ns    int64
+}
+
 // Run applies every analyzer to every package, filters suppressions,
 // appends directive-hygiene findings, and returns the findings sorted
 // by file, line, column, and check.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ds, _ := RunTimed(pkgs, analyzers, nil)
+	return ds
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting. now is the
+// clock (nanoseconds); nil means time.Now. The diagnostics are
+// identical to Run's for any clock — timing never affects findings —
+// and the timings come back in analyzer order, one entry per analyzer.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, now func() int64) ([]Diagnostic, []Timing) {
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
 	var out []Diagnostic
 	for _, p := range pkgs {
 		out = append(out, p.hygiene...)
-		for _, a := range analyzers {
+	}
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		t0 := now()
+		for _, p := range pkgs {
 			for _, d := range a.Run(p) {
 				if !p.suppressed(d) {
 					out = append(out, d)
 				}
 			}
 		}
+		timings = append(timings, Timing{Check: a.Name, Ns: now() - t0})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -225,7 +339,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, timings
 }
 
 // DefaultAnalyzers is the full project suite, as run by cmd/acclaim-lint.
@@ -235,6 +349,9 @@ func DefaultAnalyzers() []*Analyzer {
 		ZeroAlloc(),
 		LockCheck(),
 		MetricName(),
+		Frozen(),
+		AtomicDiscipline(),
+		GoroutineLife(),
 	}
 }
 

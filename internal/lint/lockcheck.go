@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"regexp"
 )
@@ -14,17 +13,16 @@ var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
 // inside functions that lock <mu> (a call to <mu>.Lock or <mu>.RLock
 // somewhere in the function — a lexical approximation of "on all
 // paths": a function that locks conditionally should be split or carry
-// an //acclaim:allow). The analyzer also flags fields that mix
-// sync/atomic access (atomic.LoadX(&s.f) and friends) with plain reads
-// or writes anywhere in the package: half-atomic fields are how torn
-// reads pass review.
+// an //acclaim:allow). Mixed atomic/plain field access, which this
+// analyzer once flagged as a side heuristic, is now the
+// atomicdiscipline analyzer's job.
 //
 // Scope is the declaring package — the guarded fields of this codebase
 // are unexported, so every access site is visible to the analysis.
 func LockCheck() *Analyzer {
 	return &Analyzer{
 		Name: "lockcheck",
-		Doc:  "enforce 'guarded by <mu>' field comments and atomic/plain access separation",
+		Doc:  "enforce 'guarded by <mu>' field comments",
 		Run:  func(p *Package) []Diagnostic { return p.lockcheck() },
 	}
 }
@@ -81,44 +79,11 @@ func (p *Package) lockcheck() []Diagnostic {
 		})
 	}
 
-	// Pass 2: per-package atomic usage. atomicField[f] is true when &s.f
-	// is passed to a sync/atomic function; those positions are exempt
-	// from the plain-access scan.
-	atomicField := map[types.Object]bool{}
-	atomicSite := map[token.Pos]bool{}
-	forEachFunc(p, func(fd *ast.FuncDecl) {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := p.funcObj(call)
-			if fn == nil || pkgPath(fn) != "sync/atomic" {
-				return true
-			}
-			for _, arg := range call.Args {
-				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
-				if !ok || un.Op != token.AND {
-					continue
-				}
-				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
-				if !ok {
-					continue
-				}
-				if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
-					atomicField[s.Obj()] = true
-					atomicSite[sel.Sel.Pos()] = true
-				}
-			}
-			return true
-		})
-	})
-
-	if len(guard) == 0 && len(atomicField) == 0 {
+	if len(guard) == 0 {
 		return ds
 	}
 
-	// Pass 3: every field access in the package.
+	// Pass 2: every field access in the package.
 	forEachFunc(p, func(fd *ast.FuncDecl) {
 		locked := p.lockedMutexes(fd)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -134,10 +99,6 @@ func (p *Package) lockcheck() []Diagnostic {
 			if mu, ok := guard[obj]; ok && !locked[mu] {
 				ds = append(ds, p.diag("lockcheck", sel.Sel.Pos(),
 					"%s accessed in %s, which never locks it", guardName[obj], fd.Name.Name))
-			}
-			if atomicField[obj] && !atomicSite[sel.Sel.Pos()] {
-				ds = append(ds, p.diag("lockcheck", sel.Sel.Pos(),
-					"field %s is accessed via sync/atomic elsewhere in this package; plain access here can tear", obj.Name()))
 			}
 			return true
 		})

@@ -1,0 +1,89 @@
+// Package atomicdiscipline is the golden fixture for the
+// atomicdiscipline analyzer: half-atomic fields, atomic-bearing
+// copies, post-publish mutation, and suppression.
+package atomicdiscipline
+
+import "sync/atomic"
+
+type gauge struct {
+	hits int64
+	cold int64
+}
+
+func (g *gauge) hit() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+func (g *gauge) torn() int64 {
+	return g.hits // want `field hits is accessed via sync/atomic elsewhere in this package; plain access here can tear`
+}
+
+// plain reads a field nothing touches atomically: clean.
+func (g *gauge) plain() int64 {
+	return g.cold
+}
+
+type stats struct {
+	n atomic.Uint64
+}
+
+func fork(s *stats) stats {
+	return *s // want `copies stats, which contains sync/atomic state; use a pointer`
+}
+
+func read(s *stats) uint64 {
+	v := s.n // want `copies atomic value of type sync/atomic\.Uint64; use its Load method`
+	return v.Load()
+}
+
+func (s stats) bad() uint64 { // want `method bad has a by-value receiver of atomic-bearing type stats; use a pointer receiver`
+	return s.n.Load()
+}
+
+func total() uint64 {
+	var arr [4]stats
+	var t uint64
+	for _, s := range arr { // want `range copies elements of atomic-bearing type stats; range over indices and take addresses`
+		t += s.n.Load()
+	}
+	return t
+}
+
+// share hands out a pointer, not a copy: clean.
+func share(s *stats) *stats {
+	return s
+}
+
+type cfg struct {
+	size int
+}
+
+var cur atomic.Pointer[cfg]
+
+func swapIn(n *cfg) {
+	old := cur.Swap(n)
+	if old != nil {
+		old.size = 0 // want `writes through a value obtained from atomic\.Pointer\.Swap; published snapshots are read-only` `\[frozen\] write to interior of frozen type cfg \(published through atomic.Pointer\)`
+	}
+}
+
+// size only reads the published snapshot: clean.
+func size() int {
+	c := cur.Load()
+	if c == nil {
+		return 0
+	}
+	return c.size
+}
+
+// recycle reuses a swapped-out cfg once every reader has drained — a
+// pattern only the test pool is allowed.
+//
+//acclaim:allow atomicdiscipline recycled after reader drain in tests
+//acclaim:allow frozen recycled after reader drain in tests
+func recycle(n *cfg) {
+	old := cur.Swap(n)
+	if old != nil {
+		old.size = 0
+	}
+}

@@ -1,0 +1,103 @@
+// Package goroutinelife is the golden fixture for the goroutinelife
+// analyzer: leaking spawns, time.Tick loops, bounded workers, owner
+// annotations, and suppression.
+package goroutinelife
+
+import (
+	"sync"
+	"time"
+)
+
+func work() {}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func leak() {
+	go spin() // want `goroutine spin has no termination edge \(no channel receive, no WaitGroup Done matched by a Wait here\); annotate //acclaim:goroutine-owner <shutdown path>`
+}
+
+func leakLit() {
+	go func() { // want `goroutine function literal has no termination edge`
+		for {
+			work()
+		}
+	}()
+}
+
+func tickLoop(every time.Duration) {
+	for range time.Tick(every) {
+		work()
+	}
+}
+
+func leakTick(every time.Duration) {
+	go tickLoop(every) // want `goroutine tickLoop receives only from time\.Tick, which never stops and leaks its ticker; use time\.NewTicker with a done-channel select`
+}
+
+func launch(f func()) {
+	go f() // want `go statement spawns a callee the analyzer cannot resolve; annotate //acclaim:goroutine-owner <shutdown path>`
+}
+
+// workers is the classic bounded fan-out: every spawn calls Done on a
+// WaitGroup this function Waits on. Clean.
+func workers(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// drain parks its goroutine on a channel the caller closes: clean.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// stopper parks on a done channel inside a select: clean.
+func stopper(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// daemon spins for the whole process lifetime, and its doc comment
+// names the owner, covering every spawn in the body.
+//
+//acclaim:goroutine-owner stopped only at process exit, by design
+func daemon() {
+	go spin()
+}
+
+func daemonInline() {
+	//acclaim:goroutine-owner reaped by the test harness after each case
+	go spin()
+}
+
+func suppressed() {
+	//acclaim:allow goroutinelife fixture exercising suppression
+	go spin()
+}
+
+// want `\[directive\] //acclaim:goroutine-owner needs the shutdown path spelled out`
+//acclaim:goroutine-owner
+
+var tick = time.Second

@@ -1,18 +1,14 @@
 // Package lockcheck is the golden fixture for the lockcheck analyzer:
-// guarded-field comments, unlocked access, half-atomic fields, and a
-// guard comment naming a non-existent mutex.
+// guarded-field comments, unlocked access, and a guard comment naming a
+// non-existent mutex. (Half-atomic fields moved to the
+// atomicdiscipline fixture when that analyzer took the check over.)
 package lockcheck
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "sync"
 
 type counter struct {
 	mu sync.Mutex
 	n  int // guarded by mu
-
-	hits int64 // accessed via sync/atomic only
 
 	state int // want `'guarded by missing' names no field of counter` -- guarded by missing
 }
@@ -25,14 +21,6 @@ func (c *counter) inc() {
 
 func (c *counter) peek() int {
 	return c.n // want `counter\.n \(guarded by mu\) accessed in peek, which never locks it`
-}
-
-func (c *counter) hit() {
-	atomic.AddInt64(&c.hits, 1)
-}
-
-func (c *counter) torn() int64 {
-	return c.hits // want `field hits is accessed via sync/atomic elsewhere in this package; plain access here can tear`
 }
 
 // snapshot runs before any goroutine exists, so the unlocked read is

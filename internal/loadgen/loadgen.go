@@ -134,6 +134,8 @@ type workerResult struct {
 // regMetrics is the optional live-registry wiring, shared by workers
 // (the obs types are concurrency-safe); all fields nil-safe via guards
 // in the worker loop.
+//
+//acclaim:frozen
 type regMetrics struct {
 	requests *obs.Counter
 	errs     *obs.Counter

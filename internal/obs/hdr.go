@@ -96,6 +96,8 @@ func hdrRep(i int) float64 {
 // read time; Sum is reconstructed at bucket resolution (exact in the
 // linear region, midpoint in the log region, so <= ~1.6% relative
 // error — the same order as the quantile contract).
+//
+//acclaim:frozen
 type HDRHistogram struct {
 	counts  [hdrNumBuckets]atomic.Uint64
 	dropped atomic.Uint64
@@ -354,6 +356,8 @@ func (s HDRSnapshot) Merge(o HDRSnapshot) HDRSnapshot {
 // good approximation of per-P striping without thread-local state.
 // Reads merge all shards. The zero value is not usable; call
 // NewHDRRecorder. Nil receivers no-op.
+//
+//acclaim:frozen
 type HDRRecorder struct {
 	shards []HDRHistogram
 	mask   uint64

@@ -116,6 +116,8 @@ var DefTimeBuckets = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e1
 // an overflow bucket, with an exact observation count and sum. All
 // methods are safe for concurrent use, allocation-free, and nil
 // receivers no-op. Construct with NewHistogram or Registry.Histogram.
+//
+//acclaim:frozen
 type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Uint64 // len(bounds)+1; last is overflow

@@ -62,6 +62,8 @@ const (
 // the query's own power-of-two cell — almost always zero or one step,
 // since real rule files put at most a threshold or two between
 // consecutive powers of two. No binary search, no per-call allocation.
+//
+//acclaim:frozen
 type tableIndex struct {
 	nodeMax []int64
 	ppnOff  []int32
@@ -156,6 +158,8 @@ func startTable(dst []int32, span []int64, base int32) []int32 {
 
 // Index is an immutable compiled rule file. It is safe for unbounded
 // concurrent readers; all mutation happens by compiling a replacement.
+//
+//acclaim:frozen
 type Index struct {
 	byColl [coll.NumCollectives]*tableIndex // fast path: known collectives
 	byName map[string]*tableIndex           // generic path: any table name

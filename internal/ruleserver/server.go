@@ -40,6 +40,8 @@ const nameSlot = coll.NumCollectives
 // terms the counted path stays under ~100ns/call; the benchguard
 // record_headroom metric pins the recorder's own contribution at
 // <10% over a clock-only baseline.
+//
+//acclaim:frozen
 type snapshot struct {
 	idx      *Index
 	version  uint64
