@@ -1,7 +1,8 @@
 // Command acclaim-loadgen is the SLO load-generation harness for the
 // serving path. It fires a mixed (collective, nodes, ppn, message-size)
 // query stream at a rule server — in-process from a tuned rule file,
-// or out-of-process against acclaim-serve -http's /v1/select endpoint —
+// out-of-process against acclaim-serve -http's /v1/select endpoint, or
+// over the batched binary wire protocol against acclaim-serve -tcp —
 // and writes an acclaim.load_report/v1 JSON document with
 // coordinated-omission-corrected latency quantiles, throughput, and
 // per-collective hit rates.
@@ -18,9 +19,22 @@
 //	acclaim-loadgen -url http://localhost:8080/v1/select \
 //	    -sweep 200000,400000,800000 -requests 500000 -out sweep.json
 //
+// Batched multi-tenant run over the binary wire protocol: -batch packs
+// that many queries per frame, and -tenants N spreads the stream
+// (uniformly or zipf-skewed) across registry shards t0/default/default
+// through t<N-1>/default/default — the shard-key convention
+// acclaim-serve's -tenant flag pairs with:
+//
+//	acclaim-serve -tcp :9090 -tenant t0/default/default=tuned.json &
+//	acclaim-loadgen -tcp localhost:9090 -batch 64 -mode closed \
+//	    -requests 2000000 -out load_tcp.json \
+//	    -bench TCPLoadSmoke -bench-prefix tcp_
+//
 // The -bench line (`Benchmark<name> 1 <dur> ns/op <qps> throughput_qps
 // <p99> p99_ns`) pipes straight into cmd/benchguard, whose -floor and
-// -ceiling flags turn the run into a CI SLO gate.
+// -ceiling flags turn the run into a CI SLO gate; -bench-prefix renames
+// the metric units (tcp_throughput_qps, tcp_p99_ns) so one pipeline can
+// gate several targets without collisions.
 package main
 
 import (
@@ -38,11 +52,16 @@ import (
 func main() {
 	var (
 		rulesPath   = flag.String("rules", "", "tuned rule file for an in-process target")
-		url         = flag.String("url", "", "out-of-process target: full /v1/select URL (mutually exclusive with -rules)")
+		url         = flag.String("url", "", "out-of-process target: full /v1/select URL (mutually exclusive with -rules/-tcp)")
+		tcp         = flag.String("tcp", "", "out-of-process target: acclaim-serve -tcp address for the binary protocol (mutually exclusive with -rules/-url)")
 		mode        = flag.String("mode", "closed", "driver: closed (capacity) or open (fixed offered rate, CO-corrected)")
 		workers     = flag.Int("workers", 4, "concurrent workers")
 		requests    = flag.Int("requests", 1000000, "total requests (per sweep step when -sweep is given)")
 		rate        = flag.Float64("rate", 0, "open mode: total offered rate in queries/sec")
+		batch       = flag.Int("batch", 0, "queries per transport round trip (>1 needs a batching target, i.e. -tcp)")
+		tenants     = flag.Int("tenants", 0, "tenant shards to mix across; tenant i maps to key t<i>/default/default")
+		tenantSkew  = flag.String("tenant-skew", "uniform", "tenant draw distribution: uniform or zipf")
+		zipfS       = flag.Float64("zipf-s", 1.2, "zipf exponent for -tenant-skew zipf")
 		sweep       = flag.String("sweep", "", "comma-separated offered rates; runs an open-loop saturation sweep")
 		collectives = flag.String("collectives", "bcast,allreduce,allgather,alltoall", "comma-separated collectives to mix")
 		nodes       = flag.String("nodes", "2,4,8,16,32", "comma-separated node counts to mix")
@@ -51,20 +70,64 @@ func main() {
 		seed        = flag.Int64("seed", 1, "RNG seed (worker i uses seed+i)")
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 		bench       = flag.String("bench", "", "also print a benchguard-parseable Benchmark<name> line to stdout")
+		benchPrefix = flag.String("bench-prefix", "", "prefix the -bench line's metric units (e.g. tcp_ emits tcp_throughput_qps)")
 	)
 	flag.Parse()
 
-	if (*rulesPath == "") == (*url == "") {
-		fatal(fmt.Errorf("exactly one of -rules or -url is required"))
+	nSources := 0
+	for _, s := range []string{*rulesPath, *url, *tcp} {
+		if s != "" {
+			nSources++
+		}
+	}
+	if nSources != 1 {
+		fatal(fmt.Errorf("exactly one of -rules, -url, or -tcp is required"))
+	}
+	// tenantKeys is the loadgen<->server tenant convention: mix tenant
+	// index i is registry shard t<i>/default/default, matching
+	// `acclaim-serve -tcp -tenant t<i>/default/default=...`.
+	tenantKeys := func() []ruleserver.TenantKey {
+		n := *tenants
+		if n < 1 {
+			n = 1
+		}
+		keys := make([]ruleserver.TenantKey, n)
+		for i := range keys {
+			keys[i] = ruleserver.TenantKey{Cluster: fmt.Sprintf("t%d", i), JobClass: "default", MPIVer: "default"}
+		}
+		return keys
 	}
 	var target loadgen.Target
-	if *rulesPath != "" {
+	switch {
+	case *rulesPath != "" && *tenants > 1:
+		// In-process multi-tenant: every shard serves the same tuned
+		// file, so the skewed tenant draw exercises shard dispatch
+		// without changing rule coverage.
+		reg := ruleserver.NewRegistry()
+		for _, k := range tenantKeys() {
+			if err := reg.Load(k, *rulesPath); err != nil {
+				fatal(err)
+			}
+		}
+		rt, err := loadgen.NewRegistryTarget(reg, tenantKeys())
+		if err != nil {
+			fatal(err)
+		}
+		target = rt
+	case *rulesPath != "":
 		srv := ruleserver.New()
 		if err := srv.Load(*rulesPath); err != nil {
 			fatal(err)
 		}
 		target = loadgen.ServerTarget{Server: srv}
-	} else {
+	case *tcp != "":
+		tt, err := loadgen.NewTCPTarget(*tcp, tenantKeys(), 2**workers)
+		if err != nil {
+			fatal(err)
+		}
+		defer tt.Close()
+		target = tt
+	default:
 		target = loadgen.HTTPTarget{URL: *url}
 	}
 
@@ -76,6 +139,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mix.Tenants = *tenants
+	mix.TenantSkew = *tenantSkew
+	mix.ZipfS = *zipfS
 	cfg := loadgen.Config{
 		Target:   target,
 		Mix:      mix,
@@ -83,6 +149,7 @@ func main() {
 		Workers:  *workers,
 		Requests: *requests,
 		RateQPS:  *rate,
+		Batch:    *batch,
 		Seed:     *seed,
 	}
 
@@ -116,7 +183,7 @@ func main() {
 		fatal(err)
 	}
 	if *bench != "" {
-		if err := rep.WriteBench(os.Stdout, *bench); err != nil {
+		if err := rep.WriteBenchPrefixed(os.Stdout, *bench, *benchPrefix); err != nil {
 			fatal(err)
 		}
 	}

@@ -26,6 +26,22 @@
 // is a 200 with ok=false (deployment-visible condition); malformed
 // input is a 400.
 //
+// With -tcp, the compact binary selection protocol is served (usable
+// alongside -http): length-prefixed frames, interned tenant and
+// collective ids negotiated per connection, batched lookups — the
+// transport cmd/acclaim-loadgen's -tcp mode drives at a multiple of
+// the JSON API's throughput. Multi-tenant serving uses repeatable
+// -tenant flags, each loading one rule file into a registry shard
+// keyed cluster/jobclass/mpiver:
+//
+//	acclaim-serve -tcp :9090 \
+//	    -tenant frontier/batch/mpich-4.2=frontier.json \
+//	    -tenant summit/debug/ompi-5.0=summit.json
+//
+// Shards hot-reload independently under -watch: each tenant's file is
+// polled and swapped on its own, never perturbing another tenant's
+// served snapshot or counters.
+//
 // With -debug-addr, an HTTP observability endpoint is served for the
 // life of the process (most useful with streaming or -http mode):
 // /metrics answers Prometheus text by default and expvar-style JSON
@@ -41,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -58,37 +75,118 @@ type queryList []string
 func (q *queryList) String() string     { return strings.Join(*q, ",") }
 func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
 
+// tenantFlag is one parsed -tenant cluster/jobclass/mpiver=rulefile.
+type tenantFlag struct {
+	key  ruleserver.TenantKey
+	path string
+}
+
+type tenantList []tenantFlag
+
+func (t *tenantList) String() string {
+	parts := make([]string, len(*t))
+	for i, f := range *t {
+		parts[i] = f.key.String() + "=" + f.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantList) Set(s string) error {
+	ks, path, ok := strings.Cut(s, "=")
+	if !ok || path == "" {
+		return fmt.Errorf("bad -tenant %q: want cluster/jobclass/mpiver=rulefile", s)
+	}
+	key, err := ruleserver.ParseTenantKey(ks)
+	if err != nil {
+		return err
+	}
+	*t = append(*t, tenantFlag{key: key, path: path})
+	return nil
+}
+
 func main() {
 	var (
-		rulesPath = flag.String("rules", "", "tuned selection rule file (JSON, required)")
+		rulesPath = flag.String("rules", "", "tuned selection rule file (JSON; loads the default tenant)")
 		queries   queryList
+		tenants   tenantList
 		stats     = flag.Bool("stats", false, "print serving counters to stderr on exit")
-		watch     = flag.Duration("watch", 0, "poll the rule file at this interval and hot-reload on change (streaming and -http modes)")
+		watch     = flag.Duration("watch", 0, "poll rule files at this interval and hot-reload on change (server modes)")
 		httpAddr  = flag.String("http", "", "serve the /v1/select JSON selection API on this address (replaces stdin streaming)")
+		tcpAddr   = flag.String("tcp", "", "serve the compact binary selection protocol on this address (usable alongside -http)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text / expvar JSON), /debug/vars, and /debug/pprof on this address")
 	)
 	flag.Var(&queries, "query", "one-shot query collective:nodes:ppn:msgbytes (repeatable)")
+	flag.Var(&tenants, "tenant", "load one registry shard as cluster/jobclass/mpiver=rulefile (repeatable; -tcp serving)")
 	flag.Parse()
 
-	if *rulesPath == "" {
-		fmt.Fprintln(os.Stderr, "acclaim-serve: -rules is required")
+	if *rulesPath == "" && len(tenants) == 0 {
+		fmt.Fprintln(os.Stderr, "acclaim-serve: -rules or at least one -tenant is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	srv := ruleserver.New()
-	if err := srv.Load(*rulesPath); err != nil {
-		fatal(err)
+
+	// Every mode serves from one registry. -rules loads the default
+	// tenant — the shard the one-shot, streaming, and HTTP modes answer
+	// from — and each -tenant loads its own independently swappable
+	// shard for the binary protocol.
+	reg := ruleserver.NewRegistry()
+	var srv *ruleserver.Server
+	if *rulesPath != "" {
+		srv = reg.Ensure(ruleserver.DefaultTenant)
+		if err := srv.Load(*rulesPath); err != nil {
+			fatal(err)
+		}
 	}
-	if *debugAddr != "" {
-		//acclaim:goroutine-owner lives for the whole process by design; a failed listen exits via fatal
-		go serveDebug(srv, *debugAddr)
+	for _, t := range tenants {
+		if err := reg.Load(t.key, t.path); err != nil {
+			fatal(fmt.Errorf("tenant %s: %v", t.key, err))
+		}
+	}
+	if srv == nil {
+		// No default tenant: point the single-tenant modes at the first
+		// -tenant shard so -query and -stats still work.
+		srv, _ = reg.Tenant(tenants[0].key)
 	}
 
-	// watchDone stops the rule-file poller: closed when streaming input
-	// ends (so the final stats read does not race a hot swap); never
-	// closed in -http mode, where serving — and polling — lasts until
-	// the process dies.
+	ws := ruleserver.NewWireServer(reg)
+	if *debugAddr != "" {
+		//acclaim:goroutine-owner lives for the whole process by design; a failed listen exits via fatal
+		go serveDebug(srv, reg, ws, *debugAddr)
+	}
+
+	// watchDone stops the rule-file pollers: closed when streaming
+	// input ends (so the final stats read does not race a hot swap);
+	// never closed in the server modes, where serving — and polling —
+	// lasts until the process dies.
 	watchDone := make(chan struct{})
+	startWatchers := func() {
+		if *watch <= 0 {
+			return
+		}
+		if *rulesPath != "" {
+			path := *rulesPath
+			//acclaim:goroutine-owner rule-file poller; returns when watchDone closes
+			go watchFile("default tenant", path, *watch, watchDone, func() error {
+				if err := srv.Load(path); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "acclaim-serve: hot-swapped default tenant to v%d\n", srv.Stats().Version)
+				return nil
+			})
+		}
+		for _, t := range tenants {
+			t := t
+			//acclaim:goroutine-owner per-tenant rule-file poller; returns when watchDone closes
+			go watchFile(t.key.String(), t.path, *watch, watchDone, func() error {
+				if err := reg.Load(t.key, t.path); err != nil {
+					return err
+				}
+				shard, _ := reg.Tenant(t.key)
+				fmt.Fprintf(os.Stderr, "acclaim-serve: hot-swapped tenant %s to v%d\n", t.key, shard.Stats().Version)
+				return nil
+			})
+		}
+	}
 
 	if len(queries) > 0 {
 		for _, q := range queries {
@@ -102,18 +200,27 @@ func main() {
 			}
 			fmt.Println(alg)
 		}
-	} else if *httpAddr != "" {
-		if *watch > 0 {
-			go watchFile(srv, *rulesPath, *watch, watchDone)
+	} else if *tcpAddr != "" || *httpAddr != "" {
+		startWatchers()
+		if *tcpAddr != "" {
+			ln, err := net.Listen("tcp", *tcpAddr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "acclaim-serve: serving binary protocol on %s (%d tenants)\n",
+				ln.Addr(), reg.Len())
+			if *httpAddr == "" {
+				fatal(ws.Serve(ln))
+			}
+			//acclaim:goroutine-owner binary-protocol acceptor; lives until the process dies alongside the HTTP server on main
+			go func() { fatal(ws.Serve(ln)) }()
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/v1/select", ruleserver.SelectHandler(srv))
 		fmt.Fprintf(os.Stderr, "acclaim-serve: serving /v1/select on %s\n", *httpAddr)
 		fatal(http.ListenAndServe(*httpAddr, mux))
 	} else {
-		if *watch > 0 {
-			go watchFile(srv, *rulesPath, *watch, watchDone)
-		}
+		startWatchers()
 		sc := bufio.NewScanner(os.Stdin)
 		for sc.Scan() {
 			line := strings.TrimSpace(sc.Text())
@@ -187,13 +294,17 @@ func answer(srv *ruleserver.Server, cs, ns, ps, ms string) (string, error) {
 	return alg, nil
 }
 
-// serveDebug runs the observability endpoint: the server's counters on
-// a fresh registry (epoch-scoped, read lock-free through the snapshot
-// pointer), expvar, and pprof. It never returns; a failed listen is
-// fatal because the operator asked for the endpoint explicitly.
-func serveDebug(srv *ruleserver.Server, addr string) {
+// serveDebug runs the observability endpoint: the default shard's
+// counters, the multi-tenant registry aggregates and per-tenant
+// labeled series, and the wire transport counters on a fresh metrics
+// registry (all epoch-scoped, read lock-free through the snapshot
+// pointers), plus expvar and pprof. It never returns; a failed listen
+// is fatal because the operator asked for the endpoint explicitly.
+func serveDebug(srv *ruleserver.Server, rreg *ruleserver.Registry, ws *ruleserver.WireServer, addr string) {
 	reg := obs.NewRegistry()
 	srv.Register(reg)
+	rreg.Register(reg)
+	ws.Register(reg)
 	reg.Publish("acclaim")
 
 	mux := http.NewServeMux()
@@ -207,13 +318,15 @@ func serveDebug(srv *ruleserver.Server, addr string) {
 	fatal(http.ListenAndServe(addr, mux))
 }
 
-// watchFile polls the rule file's mtime and hot-swaps the snapshot when
-// it changes, until done is closed. A file that momentarily fails to
-// load (mid-rewrite, or invalid) keeps the previous snapshot serving;
-// the error is logged. (This used to loop over time.Tick, which can
-// never be stopped and leaked its ticker past the end of streaming
-// input — the goroutinelife analyzer caught it.)
-func watchFile(srv *ruleserver.Server, path string, every time.Duration, done <-chan struct{}) {
+// watchFile polls one rule file's mtime and runs load when it
+// changes, until done is closed. A file that momentarily fails to load
+// (mid-rewrite, or invalid) keeps the previous snapshot serving; the
+// error is logged. Each tenant's file gets its own poller, so one
+// shard's reload never delays — or perturbs — another's. (This used to
+// loop over time.Tick, which can never be stopped and leaked its
+// ticker past the end of streaming input — the goroutinelife analyzer
+// caught it.)
+func watchFile(label, path string, every time.Duration, done <-chan struct{}, load func() error) {
 	var last time.Time
 	if fi, err := os.Stat(path); err == nil {
 		last = fi.ModTime()
@@ -231,12 +344,10 @@ func watchFile(srv *ruleserver.Server, path string, every time.Duration, done <-
 			continue
 		}
 		last = fi.ModTime()
-		if err := srv.Load(path); err != nil {
-			fmt.Fprintf(os.Stderr, "acclaim-serve: reload failed, keeping v%d: %v\n",
-				srv.Stats().Version, err)
-			continue
+		if err := load(); err != nil {
+			fmt.Fprintf(os.Stderr, "acclaim-serve: %s: reload failed, keeping current snapshot: %v\n",
+				label, err)
 		}
-		fmt.Fprintf(os.Stderr, "acclaim-serve: hot-swapped to v%d\n", srv.Stats().Version)
 	}
 }
 

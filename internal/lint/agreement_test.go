@@ -42,6 +42,10 @@ var zeroAllocManifest = map[string][]string{
 		"Index.LookupName",
 		"Server.Lookup",
 		"Server.LookupName",
+		"getReqRecord",
+		"getRespRecord",
+		"putReqRecord",
+		"putRespRecord",
 		"tableIndex.lookup",
 		"tableIndex.walk",
 	},

@@ -21,7 +21,7 @@ import (
 // snapshot type without declaring it a build break, not a silent
 // opt-out).
 var frozenPublishManifest = map[string][]string{
-	"internal/ruleserver": {"snapshot"},
+	"internal/ruleserver": {"snapshot", "shardTable"},
 }
 
 // publishSite is one atomic.Pointer[T] occurrence in non-test source.

@@ -1,0 +1,102 @@
+package loadgen_test
+
+import (
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/loadgen"
+	"acclaim/internal/ruleserver"
+)
+
+// BenchmarkWireVsHTTPThroughput is the acceptance benchmark for the
+// binary protocol: the same query stream driven through HTTPTarget
+// (one JSON request-response per query over a keep-alive loopback
+// connection) and through a batched TCPTarget (64 queries per frame
+// over the wire protocol). Both sides run a fixed inner loop and the
+// ratio of each side's best time across outer iterations is reported
+// as wire_speedup — best-of interleaved A/B, same shape as
+// BenchmarkRuleServerSpeedup. CI floors wire_speedup at 5.
+func BenchmarkWireVsHTTPThroughput(b *testing.B) {
+	srv, err := ruleserver.NewFromFile(loadgenFixtureFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hts := httptest.NewServer(ruleserver.SelectHandler(srv))
+	defer hts.Close()
+
+	reg := ruleserver.NewRegistry()
+	keys := wireTenants(1)
+	if err := reg.Swap(keys[0], loadgenFixtureFile()); err != nil {
+		b.Fatal(err)
+	}
+	ws := ruleserver.NewWireServer(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	//acclaim:goroutine-owner bench wire acceptor; Serve returns when ln is closed
+	go ws.Serve(ln)
+
+	httpTgt := loadgen.HTTPTarget{URL: hts.URL}
+	tcpTgt, err := loadgen.NewTCPTarget(ln.Addr().String(), keys, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tcpTgt.Close()
+
+	// Fixed log-uniform workload, all on the covered bcast table so
+	// both sides do identical rule-table work.
+	const batch = 64
+	const inner = 1024 // queries per side per outer iteration
+	rng := rand.New(rand.NewSource(99))
+	qs := make([]loadgen.Query, inner)
+	for i := range qs {
+		qs[i] = loadgen.Query{
+			Coll:  coll.Bcast,
+			Nodes: 2 << uint(rng.Intn(6)),
+			PPN:   1 + rng.Intn(16),
+			Msg:   1 << uint(rng.Intn(20)),
+		}
+	}
+	res := make([]loadgen.Result, batch)
+
+	// Warm both paths: HTTP keep-alive connections and the wire
+	// connection's algorithm dictionary.
+	if _, ok, err := httpTgt.Select(qs[0]); err != nil || !ok {
+		b.Fatalf("http warmup: ok=%v err=%v", ok, err)
+	}
+	if err := tcpTgt.SelectBatch(qs[:batch], res); err != nil {
+		b.Fatal(err)
+	}
+
+	bestHTTP := time.Duration(1<<63 - 1)
+	bestWire := bestHTTP
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		for j := 0; j < inner; j++ {
+			if _, ok, err := httpTgt.Select(qs[j]); err != nil || !ok {
+				b.Fatalf("http query %d: ok=%v err=%v", j, ok, err)
+			}
+		}
+		if d := time.Since(t0); d < bestHTTP {
+			bestHTTP = d
+		}
+		t0 = time.Now()
+		for j := 0; j < inner; j += batch {
+			if err := tcpTgt.SelectBatch(qs[j:j+batch], res); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if d := time.Since(t0); d < bestWire {
+			bestWire = d
+		}
+	}
+	b.ReportMetric(float64(bestHTTP)/float64(bestWire), "wire_speedup")
+	b.ReportMetric(float64(inner)/bestWire.Seconds(), "wire_qps")
+	b.ReportMetric(float64(inner)/bestHTTP.Seconds(), "http_qps")
+}

@@ -64,15 +64,30 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("loadgen: unknown mode %q (want closed or open)", s)
 }
 
+// Tenant skew distributions for multi-tenant mixes.
+const (
+	SkewUniform = "uniform"
+	SkewZipf    = "zipf"
+)
+
 // Mix is the query distribution: collective, node count, and ppn are
 // drawn uniformly from the listed values; message size is log-uniform
 // over powers of two in [1, 2^MsgExpMax] — the grid shape the tuner
 // itself explores, so the harness exercises every rule-table level.
+// When Tenants > 1 each query also draws a tenant index, uniformly or
+// Zipf-skewed (real fleets concentrate load on a few hot clusters);
+// single-tenant mixes draw nothing extra, so their RNG streams — and
+// therefore scripted-clock reports — are byte-identical to before the
+// tenant dimension existed.
 type Mix struct {
 	Collectives []coll.Collective
 	Nodes       []int
 	PPN         []int
 	MsgExpMax   int
+
+	Tenants    int     // tenant universe size; <= 1 means single-tenant
+	TenantSkew string  // "uniform" (default) or "zipf"; only with Tenants > 1
+	ZipfS      float64 // zipf exponent; <= 1 means the 1.2 default
 }
 
 func (m Mix) validate() error {
@@ -87,17 +102,55 @@ func (m Mix) validate() error {
 	if m.MsgExpMax < 0 || m.MsgExpMax > 30 {
 		return fmt.Errorf("loadgen: Mix.MsgExpMax %d out of range [0,30]", m.MsgExpMax)
 	}
+	switch m.TenantSkew {
+	case "", SkewUniform, SkewZipf:
+	default:
+		return fmt.Errorf("loadgen: Mix.TenantSkew %q (want uniform or zipf)", m.TenantSkew)
+	}
 	return nil
 }
 
-// query draws one query from the mix.
-func (m Mix) query(rng *rand.Rand) Query {
-	return Query{
+// tenantCount normalizes the tenant universe size.
+func (m Mix) tenantCount() int {
+	if m.Tenants > 1 {
+		return m.Tenants
+	}
+	return 1
+}
+
+// tenantDrawer returns the per-worker tenant index generator, or nil
+// for single-tenant mixes (which must not consume RNG draws, to keep
+// existing scripted-clock reports byte-identical).
+func (m Mix) tenantDrawer(rng *rand.Rand) func() int {
+	if m.Tenants <= 1 {
+		return nil
+	}
+	if m.TenantSkew == SkewZipf {
+		s := m.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		z := rand.NewZipf(rng, s, 1, uint64(m.Tenants-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	n := m.Tenants
+	return func() int { return rng.Intn(n) }
+}
+
+// query draws one query from the mix. drawTenant is nil for
+// single-tenant mixes; when set it is consumed after the shape fields,
+// so the shape stream matches the single-tenant draw order.
+func (m Mix) query(rng *rand.Rand, drawTenant func() int) Query {
+	q := Query{
 		Coll:  m.Collectives[rng.Intn(len(m.Collectives))],
 		Nodes: m.Nodes[rng.Intn(len(m.Nodes))],
 		PPN:   m.PPN[rng.Intn(len(m.PPN))],
 		Msg:   1 << uint(rng.Intn(m.MsgExpMax+1)),
 	}
+	if drawTenant != nil {
+		q.Tenant = drawTenant()
+	}
+	return q
 }
 
 // Config parameterizes one Run.
@@ -109,6 +162,7 @@ type Config struct {
 	Requests int     // total requests across workers (required)
 	RateQPS  float64 // open mode: total offered rate across workers
 	Seed     int64   // RNG seed; worker i uses Seed + i
+	Batch    int     // queries per transport round trip; <= 1 means one (Target.Select); > 1 needs a BatchTarget
 
 	// Clock builds worker i's clock; nil means RealClock for every
 	// worker. Tests inject scripted clocks here.
@@ -123,12 +177,14 @@ type Config struct {
 // locks; merged in worker-index order after the WaitGroup, so the
 // report is independent of scheduling.
 type workerResult struct {
-	hist     [coll.NumCollectives]obs.HDRHistogram
-	requests [coll.NumCollectives]uint64 // completed (non-error) requests
-	misses   [coll.NumCollectives]uint64
-	errors   uint64
-	startNs  int64
-	endNs    int64
+	hist       [coll.NumCollectives]obs.HDRHistogram
+	requests   [coll.NumCollectives]uint64 // completed (non-error) requests
+	misses     [coll.NumCollectives]uint64
+	tenantReq  []uint64 // per-tenant completed requests (nil for single-tenant mixes)
+	tenantMiss []uint64
+	errors     uint64
+	startNs    int64
+	endNs      int64
 }
 
 // regMetrics is the optional live-registry wiring, shared by workers
@@ -179,6 +235,14 @@ func Run(cfg Config) (*Report, error) {
 	if err := cfg.Mix.validate(); err != nil {
 		return nil, err
 	}
+	var batchTarget BatchTarget
+	if cfg.Batch > 1 {
+		bt, ok := cfg.Target.(BatchTarget)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: Batch=%d but target %s cannot batch", cfg.Batch, cfg.Target.Name())
+		}
+		batchTarget = bt
+	}
 	newClock := cfg.Clock
 	if newClock == nil {
 		newClock = func(int) Clock { return RealClock() }
@@ -197,7 +261,11 @@ func Run(cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func(i, n int) {
 			defer wg.Done()
-			runWorker(&results[i], cfg, i, n, rateW, newClock(i), rm)
+			if batchTarget != nil {
+				runBatchWorker(&results[i], cfg, batchTarget, i, n, rateW, newClock(i), rm)
+			} else {
+				runWorker(&results[i], cfg, i, n, rateW, newClock(i), rm)
+			}
 		}(i, n)
 	}
 	wg.Wait()
@@ -213,10 +281,12 @@ func Run(cfg Config) (*Report, error) {
 // to every queued request.
 func runWorker(res *workerResult, cfg Config, id, n int, rateW float64, clk Clock, rm regMetrics) {
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+	drawTenant := cfg.Mix.tenantDrawer(rng)
+	res.initTenants(cfg.Mix)
 	res.startNs = clk.Now()
 	next := res.startNs
 	for j := 0; j < n; j++ {
-		q := cfg.Mix.query(rng)
+		q := cfg.Mix.query(rng, drawTenant)
 		var sched int64
 		if cfg.Mode == Open {
 			next += int64(rng.ExpFloat64() / rateW * 1e9)
@@ -237,19 +307,88 @@ func runWorker(res *workerResult, cfg Config, id, n int, rateW float64, clk Cloc
 			}
 			continue
 		}
-		s := int(q.Coll)
-		res.requests[s]++
-		if !ok {
-			res.misses[s]++
-			if rm.misses != nil {
-				rm.misses.Inc()
-			}
-		}
-		lat := done - sched
-		res.hist[s].ObserveNs(lat)
-		rm.lat.Record(sched, lat)
+		res.observe(q, ok, done-sched, sched, rm)
 	}
 	res.endNs = clk.Now()
+}
+
+// runBatchWorker is the batched driver loop: it draws cfg.Batch
+// queries, fires them as one SelectBatch round trip, and charges every
+// query in the batch the batch's latency (each rode the same wire
+// round trip). In open mode a batch is one coalesced arrival of k
+// queries: the interarrival draw uses rate rateW/k so the offered
+// query rate matches the unbatched driver's.
+func runBatchWorker(res *workerResult, cfg Config, bt BatchTarget, id, n int, rateW float64, clk Clock, rm regMetrics) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+	drawTenant := cfg.Mix.tenantDrawer(rng)
+	res.initTenants(cfg.Mix)
+	qs := make([]Query, cfg.Batch)
+	rs := make([]Result, cfg.Batch)
+	res.startNs = clk.Now()
+	next := res.startNs
+	for done := 0; done < n; {
+		k := cfg.Batch
+		if n-done < k {
+			k = n - done
+		}
+		done += k
+		for i := 0; i < k; i++ {
+			qs[i] = cfg.Mix.query(rng, drawTenant)
+		}
+		var sched int64
+		if cfg.Mode == Open {
+			next += int64(rng.ExpFloat64() / (rateW / float64(k)) * 1e9)
+			clk.WaitUntil(next)
+			sched = next
+		} else {
+			sched = clk.Now()
+		}
+		err := bt.SelectBatch(qs[:k], rs[:k])
+		end := clk.Now()
+		if rm.requests != nil {
+			rm.requests.Add(uint64(k))
+		}
+		if err != nil {
+			res.errors += uint64(k)
+			if rm.errs != nil {
+				rm.errs.Add(uint64(k))
+			}
+			continue
+		}
+		lat := end - sched
+		for i := 0; i < k; i++ {
+			res.observe(qs[i], rs[i].OK, lat, sched, rm)
+		}
+	}
+	res.endNs = clk.Now()
+}
+
+// initTenants sizes the per-tenant counters for multi-tenant mixes.
+func (res *workerResult) initTenants(m Mix) {
+	if m.Tenants > 1 {
+		res.tenantReq = make([]uint64, m.Tenants)
+		res.tenantMiss = make([]uint64, m.Tenants)
+	}
+}
+
+// observe records one completed (non-error) query.
+func (res *workerResult) observe(q Query, ok bool, lat, sched int64, rm regMetrics) {
+	s := int(q.Coll)
+	res.requests[s]++
+	if res.tenantReq != nil {
+		res.tenantReq[q.Tenant]++
+	}
+	if !ok {
+		res.misses[s]++
+		if res.tenantMiss != nil {
+			res.tenantMiss[q.Tenant]++
+		}
+		if rm.misses != nil {
+			rm.misses.Inc()
+		}
+	}
+	res.hist[s].ObserveNs(lat)
+	rm.lat.Record(sched, lat)
 }
 
 // buildReport merges worker results in index order.
@@ -285,6 +424,31 @@ func buildReport(cfg Config, results []workerResult) *Report {
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
 		Errors:  errs,
+	}
+	if cfg.Batch > 1 {
+		rep.Batch = cfg.Batch
+	}
+	if cfg.Mix.Tenants > 1 {
+		rep.Tenants = cfg.Mix.Tenants
+		rep.TenantSkew = cfg.Mix.TenantSkew
+		if rep.TenantSkew == "" {
+			rep.TenantSkew = SkewUniform
+		}
+		tReq := make([]uint64, cfg.Mix.Tenants)
+		tMiss := make([]uint64, cfg.Mix.Tenants)
+		for i := range results {
+			for t, v := range results[i].tenantReq {
+				tReq[t] += v
+			}
+			for t, v := range results[i].tenantMiss {
+				tMiss[t] += v
+			}
+		}
+		for t := 0; t < cfg.Mix.Tenants; t++ {
+			rep.PerTenant = append(rep.PerTenant, TenantReport{
+				Tenant: t, Requests: tReq[t], Misses: tMiss[t],
+			})
+		}
 	}
 	for c := 0; c < coll.NumCollectives; c++ {
 		if reqs[c] == 0 {

@@ -14,10 +14,9 @@ import (
 	"acclaim/internal/ruleserver"
 )
 
-// fixtureServer covers bcast (two message bands) and allreduce (one
-// rule); every other collective misses.
-func fixtureServer(t *testing.T) *ruleserver.Server {
-	t.Helper()
+// loadgenFixtureFile covers bcast (two message bands) and allreduce
+// (one rule); every other collective misses.
+func loadgenFixtureFile() *rules.File {
 	f := rules.NewFile("loadgen-fixture")
 	f.Tables[coll.Bcast.String()] = &rules.Table{
 		Collective: coll.Bcast.String(),
@@ -36,7 +35,12 @@ func fixtureServer(t *testing.T) *ruleserver.Server {
 			}},
 		}}},
 	}
-	srv, err := ruleserver.NewFromFile(f)
+	return f
+}
+
+func fixtureServer(t *testing.T) *ruleserver.Server {
+	t.Helper()
+	srv, err := ruleserver.NewFromFile(loadgenFixtureFile())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,5 +370,20 @@ func TestWriteBench(t *testing.T) {
 	if len(fields) != 8 || fields[0] != "BenchmarkLoadSmoke" || fields[1] != "1" ||
 		fields[3] != "ns/op" || fields[5] != "throughput_qps" || fields[7] != "p99_ns" {
 		t.Fatalf("bench line not benchguard-parseable: %q", line)
+	}
+}
+
+// TestHTTPTargetTruncatedBody: a response whose body ends before its
+// declared Content-Length is a transport error, not a parsed result.
+func TestHTTPTargetTruncatedBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", "100")
+		w.Write([]byte(`{"alg`))
+	}))
+	defer ts.Close()
+	tgt := loadgen.HTTPTarget{URL: ts.URL}
+	if _, _, err := tgt.Select(loadgen.Query{Coll: coll.Bcast, Nodes: 2, PPN: 1, Msg: 8}); err == nil {
+		t.Fatal("want error from truncated response body")
 	}
 }

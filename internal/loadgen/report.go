@@ -44,13 +44,27 @@ type SweepPoint struct {
 	Errors      uint64  `json:"errors"`
 }
 
-// Report is the acclaim.load_report/v1 document.
+// TenantReport is one tenant's slice of a multi-tenant run (completed
+// requests only). Tenant is the mix's tenant index; targets map it to
+// a registry shard.
+type TenantReport struct {
+	Tenant   int    `json:"tenant"`
+	Requests uint64 `json:"requests"`
+	Misses   uint64 `json:"misses"`
+}
+
+// Report is the acclaim.load_report/v1 document. The batch and tenant
+// fields are omitted for unbatched single-tenant runs, so reports from
+// pre-existing configurations stay byte-identical.
 type Report struct {
 	Schema        string         `json:"schema"`
 	Mode          string         `json:"mode"`
 	Target        string         `json:"target"`
 	Seed          int64          `json:"seed"`
 	Workers       int            `json:"workers"`
+	Batch         int            `json:"batch,omitempty"`
+	Tenants       int            `json:"tenants,omitempty"`
+	TenantSkew    string         `json:"tenant_skew,omitempty"`
 	Requests      uint64         `json:"requests"`
 	Errors        uint64         `json:"errors"`
 	Misses        uint64         `json:"misses"`
@@ -59,6 +73,7 @@ type Report struct {
 	OfferedQPS    float64        `json:"offered_qps,omitempty"`
 	Latency       LatencySummary `json:"latency"`
 	PerCollective []CollReport   `json:"per_collective"`
+	PerTenant     []TenantReport `json:"per_tenant,omitempty"`
 	Sweep         []SweepPoint   `json:"sweep,omitempty"`
 }
 
@@ -79,7 +94,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // load-smoke job pipes this into benchguard with a throughput_qps
 // floor and a p99_ns ceiling to gate serving-path SLOs.
 func (r *Report) WriteBench(w io.Writer, name string) error {
-	_, err := fmt.Fprintf(w, "Benchmark%s 1 %d ns/op %.2f throughput_qps %.0f p99_ns\n",
-		name, r.DurationNs, r.ThroughputQPS, r.Latency.P99Ns)
+	return r.WriteBenchPrefixed(w, name, "")
+}
+
+// WriteBenchPrefixed is WriteBench with the custom metric units
+// prefixed (e.g. prefix "tcp_" emits tcp_throughput_qps and
+// tcp_p99_ns), so one benchguard invocation can gate several transport
+// runs with distinct -floor/-ceiling bounds.
+func (r *Report) WriteBenchPrefixed(w io.Writer, name, prefix string) error {
+	_, err := fmt.Fprintf(w, "Benchmark%s 1 %d ns/op %.2f %sthroughput_qps %.0f %sp99_ns\n",
+		name, r.DurationNs, r.ThroughputQPS, prefix, r.Latency.P99Ns, prefix)
 	return err
 }

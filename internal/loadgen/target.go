@@ -6,17 +6,30 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
 
 	"acclaim/internal/coll"
 	"acclaim/internal/ruleserver"
 )
 
-// Query is one algorithm-selection request fired at a target.
+// Query is one algorithm-selection request fired at a target. Tenant
+// is an index into the target's tenant universe (0 for single-tenant
+// targets, which ignore it).
 type Query struct {
-	Coll  coll.Collective
-	Nodes int
-	PPN   int
-	Msg   int
+	Tenant int
+	Coll   coll.Collective
+	Nodes  int
+	PPN    int
+	Msg    int
+}
+
+// Result is one answered query: ok reports rule coverage (a miss is a
+// valid answer, not an error).
+type Result struct {
+	Alg string
+	OK  bool
 }
 
 // Target is the system under load. Select resolves one query: ok
@@ -27,6 +40,14 @@ type Target interface {
 	Select(q Query) (alg string, ok bool, err error)
 	// Name identifies the target in reports ("inproc", or the URL).
 	Name() string
+}
+
+// BatchTarget is a Target that can resolve N queries in one transport
+// round trip. SelectBatch fills res[:len(qs)] in query order; an error
+// fails the whole batch (all its queries count as errors).
+type BatchTarget interface {
+	Target
+	SelectBatch(qs []Query, res []Result) error
 }
 
 // ServerTarget drives an in-process rule server: the pure serving-path
@@ -43,25 +64,124 @@ func (t ServerTarget) Select(q Query) (string, bool, error) {
 
 func (t ServerTarget) Name() string { return "inproc" }
 
+// RegistryTarget drives an in-process multi-tenant registry: each
+// query's Tenant index resolves to one of the listed shards. The shard
+// pointers are resolved once at construction (Registry shards are
+// stable across rule swaps), so the per-query cost is one slice index
+// over ServerTarget's.
+type RegistryTarget struct {
+	reg     *ruleserver.Registry
+	tenants []ruleserver.TenantKey
+	shards  []*ruleserver.Server
+}
+
+// NewRegistryTarget builds a registry target over the given tenants,
+// creating any that do not exist yet (their lookups miss until the
+// first Swap).
+func NewRegistryTarget(reg *ruleserver.Registry, tenants []ruleserver.TenantKey) (*RegistryTarget, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: RegistryTarget needs at least one tenant")
+	}
+	t := &RegistryTarget{reg: reg, tenants: tenants, shards: make([]*ruleserver.Server, len(tenants))}
+	for i, k := range tenants {
+		t.shards[i] = reg.Ensure(k)
+	}
+	return t, nil
+}
+
+func (t *RegistryTarget) Select(q Query) (string, bool, error) {
+	if q.Tenant < 0 || q.Tenant >= len(t.shards) {
+		return "", false, fmt.Errorf("loadgen: tenant index %d out of range [0,%d)", q.Tenant, len(t.shards))
+	}
+	alg, ok := t.shards[q.Tenant].Lookup(q.Coll, q.Nodes, q.PPN, q.Msg)
+	return alg, ok, nil
+}
+
+func (t *RegistryTarget) Name() string { return "inproc-registry" }
+
+// sharedTransport is the keep-alive transport every HTTPTarget shares
+// by default: per-host idle pool sized for the loadgen's worker counts
+// so closed-loop runs reuse connections instead of paying a dial (and
+// a TIME_WAIT socket) per request.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        512,
+	MaxIdleConnsPerHost: 256,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+var sharedClient = &http.Client{Transport: sharedTransport}
+
+// httpBuf is one worker's reusable request/response scratch: encode
+// buffer, body read buffer, and the bytes.Reader handed to the request
+// — recycled through httpBufPool so a steady-state Select allocates
+// only what net/http itself insists on.
+type httpBuf struct {
+	req  []byte
+	body []byte
+	rd   bytes.Reader
+}
+
+var httpBufPool = sync.Pool{
+	New: func() any { return &httpBuf{req: make([]byte, 0, 128), body: make([]byte, 0, 256)} },
+}
+
+// appendSelectRequest hand-encodes the fixed /v1/select request shape.
+func appendSelectRequest(b []byte, q Query) []byte {
+	b = append(b, `{"collective":`...)
+	b = strconv.AppendQuote(b, q.Coll.String())
+	b = append(b, `,"nodes":`...)
+	b = strconv.AppendInt(b, int64(q.Nodes), 10)
+	b = append(b, `,"ppn":`...)
+	b = strconv.AppendInt(b, int64(q.PPN), 10)
+	b = append(b, `,"msg":`...)
+	b = strconv.AppendInt(b, int64(q.Msg), 10)
+	return append(b, '}')
+}
+
+// readAllInto reads r to EOF into buf's capacity, growing as needed.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 // HTTPTarget drives an out-of-process server through the /v1/select
 // JSON API that acclaim-serve -http exposes (ruleserver.SelectHandler).
+// Requests are hand-encoded into pooled buffers and ride a shared
+// keep-alive transport, so the per-query garbage is the JSON response
+// decode, not the transport plumbing.
 type HTTPTarget struct {
 	URL    string
-	Client *http.Client // nil means http.DefaultClient
+	Client *http.Client // nil means the shared keep-alive client
 }
 
 func (t HTTPTarget) Select(q Query) (string, bool, error) {
-	body, err := json.Marshal(ruleserver.SelectRequest{
-		Collective: q.Coll.String(), Nodes: q.Nodes, PPN: q.PPN, Msg: q.Msg,
-	})
+	buf := httpBufPool.Get().(*httpBuf)
+	defer httpBufPool.Put(buf)
+	buf.req = appendSelectRequest(buf.req[:0], q)
+	buf.rd.Reset(buf.req)
+
+	client := t.Client
+	if client == nil {
+		client = sharedClient
+	}
+	hreq, err := http.NewRequest(http.MethodPost, t.URL, &buf.rd)
 	if err != nil {
 		return "", false, err
 	}
-	client := t.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Post(t.URL, "application/json", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.ContentLength = int64(len(buf.req))
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return "", false, err
 	}
@@ -70,11 +190,14 @@ func (t HTTPTarget) Select(q Query) (string, bool, error) {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12)) //nolint:errcheck // drain for keep-alive
 		return "", false, fmt.Errorf("loadgen: %s: http %d", t.URL, resp.StatusCode)
 	}
-	var sr ruleserver.SelectResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&sr); err != nil {
+	buf.body, err = readAllInto(buf.body[:0], io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
 		return "", false, err
 	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	var sr ruleserver.SelectResponse
+	if err := json.Unmarshal(buf.body, &sr); err != nil {
+		return "", false, err
+	}
 	return sr.Algorithm, sr.OK, nil
 }
 

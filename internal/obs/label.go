@@ -1,0 +1,33 @@
+package obs
+
+// MetricLabel maps an arbitrary identifier (a tenant key, a file name)
+// onto the registry's metric-name alphabet: lower-case letters, digits,
+// and underscores, starting with a letter. Runs of invalid characters
+// collapse to a single underscore, upper-case folds to lower, and an
+// empty or digit-leading result gains a "t" prefix so the composed
+// metric name still satisfies the metricname analyzer's
+// ^[a-z][a-z0-9_.]*$ grammar when embedded as one dotted segment.
+func MetricLabel(s string) string {
+	out := make([]byte, 0, len(s)+1)
+	pendingSep := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+			fallthrough
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			if pendingSep && len(out) > 0 {
+				out = append(out, '_')
+			}
+			pendingSep = false
+			out = append(out, c)
+		default:
+			pendingSep = true
+		}
+	}
+	if len(out) == 0 || out[0] >= '0' && out[0] <= '9' {
+		out = append([]byte{'t'}, out...)
+	}
+	return string(out)
+}

@@ -3,8 +3,10 @@ package ruleserver
 import (
 	"encoding/json"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"acclaim/internal/coll"
 )
@@ -25,10 +27,59 @@ type SelectResponse struct {
 	OK        bool   `json:"ok"`
 }
 
+// respBufPool recycles response encode buffers across requests. The
+// two response shapes are fixed, so they are hand-encoded into a
+// pooled buffer (the obs.EventLog line idiom) instead of paying
+// json.NewEncoder's per-request encoder and reflection walk. The
+// encoding stays byte-identical to encoding/json's, trailing newline
+// included, so existing clients and golden tests see no change.
+var respBufPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 128) },
+}
+
+// appendSelectResponse hand-encodes resp exactly as
+// json.NewEncoder(w).Encode(resp) would.
+func appendSelectResponse(b []byte, resp SelectResponse) []byte {
+	if resp.OK {
+		b = append(b, `{"algorithm":`...)
+		b = strconv.AppendQuote(b, resp.Algorithm)
+		b = append(b, `,"ok":true}`...)
+	} else if resp.Algorithm != "" {
+		b = append(b, `{"algorithm":`...)
+		b = strconv.AppendQuote(b, resp.Algorithm)
+		b = append(b, `,"ok":false}`...)
+	} else {
+		b = append(b, `{"ok":false}`...)
+	}
+	return append(b, '\n')
+}
+
+// writeSelectResponse writes resp through a pooled buffer.
+func writeSelectResponse(w http.ResponseWriter, resp SelectResponse) {
+	buf := respBufPool.Get().([]byte)
+	buf = appendSelectResponse(buf[:0], resp)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf)
+	respBufPool.Put(buf[:0]) //nolint:staticcheck // slice header round-trips through the pool by design
+}
+
+// postIsJSON reports whether a POST's declared Content-Type is JSON.
+// An absent Content-Type is accepted for curl-friendliness; a present
+// one must parse to application/json.
+func postIsJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == "application/json"
+}
+
 // SelectHandler serves the minimal selection API acclaim-serve mounts
 // at /v1/select and cmd/acclaim-loadgen drives in its out-of-process
 // mode: one lock-free lookup per request, JSON in and out. Malformed
-// input is a 400; a miss is a 200 with ok=false.
+// input is a 400, a mislabeled POST body a 415; a miss is a 200 with
+// ok=false.
 func SelectHandler(srv *Server) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req SelectRequest
@@ -50,6 +101,10 @@ func SelectHandler(srv *Server) http.HandlerFunc {
 				return
 			}
 		case http.MethodPost:
+			if !postIsJSON(r) {
+				http.Error(w, "unsupported Content-Type: want application/json", http.StatusUnsupportedMediaType)
+				return
+			}
 			if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
 				http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
 				return
@@ -67,9 +122,6 @@ func SelectHandler(srv *Server) http.HandlerFunc {
 		if !ok {
 			alg = ""
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(SelectResponse{Algorithm: alg, OK: ok}); err != nil {
-			return
-		}
+		writeSelectResponse(w, SelectResponse{Algorithm: alg, OK: ok})
 	}
 }

@@ -1,0 +1,154 @@
+package ruleserver_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"acclaim/internal/ruleserver"
+)
+
+func selectServer(t *testing.T) http.HandlerFunc {
+	t.Helper()
+	srv, err := ruleserver.NewFromFile(fixtureFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ruleserver.SelectHandler(srv)
+}
+
+func TestSelectHandlerTable(t *testing.T) {
+	h := selectServer(t)
+	cases := []struct {
+		name     string
+		method   string
+		url      string
+		body     string
+		ctype    string
+		wantCode int
+		wantBody string // exact for 200s, substring for errors
+	}{
+		{
+			name: "GET hit", method: http.MethodGet,
+			url:      "/v1/select?collective=bcast&nodes=4&ppn=8&msg=512",
+			wantCode: http.StatusOK, wantBody: `{"algorithm":"binomial","ok":true}` + "\n",
+		},
+		{
+			name: "GET miss uncovered collective", method: http.MethodGet,
+			url:      "/v1/select?collective=gather&nodes=4&ppn=8&msg=512",
+			wantCode: http.StatusOK, wantBody: `{"ok":false}` + "\n",
+		},
+		{
+			name: "POST hit", method: http.MethodPost, url: "/v1/select",
+			body: `{"collective":"bcast","nodes":16,"ppn":8,"msg":32}`, ctype: "application/json",
+			wantCode: http.StatusOK, wantBody: `{"algorithm":"binomial","ok":true}` + "\n",
+		},
+		{
+			name: "POST with charset param", method: http.MethodPost, url: "/v1/select",
+			body: `{"collective":"bcast","nodes":16,"ppn":8,"msg":32}`, ctype: "application/json; charset=utf-8",
+			wantCode: http.StatusOK, wantBody: `{"algorithm":"binomial","ok":true}` + "\n",
+		},
+		{
+			name: "405 method not allowed", method: http.MethodDelete, url: "/v1/select",
+			wantCode: http.StatusMethodNotAllowed, wantBody: "method not allowed",
+		},
+		{
+			name: "415 wrong content type", method: http.MethodPost, url: "/v1/select",
+			body: `{"collective":"bcast","nodes":16,"ppn":8,"msg":32}`, ctype: "text/plain",
+			wantCode: http.StatusUnsupportedMediaType, wantBody: "want application/json",
+		},
+		{
+			name: "400 bad JSON", method: http.MethodPost, url: "/v1/select",
+			body: `{"collective":`, ctype: "application/json",
+			wantCode: http.StatusBadRequest, wantBody: "bad JSON body",
+		},
+		{
+			name: "400 unknown collective", method: http.MethodPost, url: "/v1/select",
+			body: `{"collective":"sendrecv","nodes":4,"ppn":8,"msg":512}`, ctype: "application/json",
+			wantCode: http.StatusBadRequest, wantBody: "bad request",
+		},
+		{
+			name: "400 negative msg", method: http.MethodPost, url: "/v1/select",
+			body: `{"collective":"bcast","nodes":4,"ppn":8,"msg":-1}`, ctype: "application/json",
+			wantCode: http.StatusBadRequest, wantBody: "bad request",
+		},
+		{
+			name: "400 zero nodes", method: http.MethodPost, url: "/v1/select",
+			body: `{"collective":"bcast","nodes":0,"ppn":8,"msg":512}`, ctype: "application/json",
+			wantCode: http.StatusBadRequest, wantBody: "bad request",
+		},
+		{
+			name: "400 non-numeric GET nodes", method: http.MethodGet,
+			url:      "/v1/select?collective=bcast&nodes=abc&ppn=8&msg=512",
+			wantCode: http.StatusBadRequest, wantBody: "bad nodes",
+		},
+		{
+			name: "400 missing GET ppn", method: http.MethodGet,
+			url:      "/v1/select?collective=bcast&nodes=4&msg=512",
+			wantCode: http.StatusBadRequest, wantBody: "bad ppn",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body *strings.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			req := httptest.NewRequest(tc.method, tc.url, body)
+			if tc.ctype != "" {
+				req.Header.Set("Content-Type", tc.ctype)
+			}
+			rec := httptest.NewRecorder()
+			h(rec, req)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %q)", rec.Code, tc.wantCode, rec.Body.String())
+			}
+			got := rec.Body.String()
+			if tc.wantCode == http.StatusOK {
+				if got != tc.wantBody {
+					t.Fatalf("body = %q, want %q", got, tc.wantBody)
+				}
+				if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+					t.Fatalf("Content-Type = %q", ct)
+				}
+			} else if !strings.Contains(got, tc.wantBody) {
+				t.Fatalf("body = %q, want containing %q", got, tc.wantBody)
+			}
+		})
+	}
+}
+
+// TestSelectResponseEncodingMatchesJSON pins the hand-encoded pooled
+// response bytes to exactly what json.NewEncoder produced before the
+// rewrite, so wire-format consumers (and the loadgen HTTP client) see
+// no change.
+func TestSelectResponseEncodingMatchesJSON(t *testing.T) {
+	h := selectServer(t)
+	for _, q := range []string{
+		"/v1/select?collective=bcast&nodes=4&ppn=8&msg=512",     // hit
+		"/v1/select?collective=gather&nodes=4&ppn=8&msg=512",    // miss
+		"/v1/select?collective=reduce&nodes=64&ppn=32&msg=4096", // hit, other table
+	} {
+		req := httptest.NewRequest(http.MethodGet, q, nil)
+		rec := httptest.NewRecorder()
+		h(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", q, rec.Code)
+		}
+		var sr ruleserver.SelectResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := json.Marshal(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Body.String(); got != string(want)+"\n" {
+			t.Fatalf("%s: hand-encoded %q, encoding/json %q", q, got, string(want)+"\n")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package ruleserver_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"acclaim/internal/coll"
+	"acclaim/internal/obs"
+	"acclaim/internal/ruleserver"
+)
+
+func TestParseTenantKey(t *testing.T) {
+	k, err := ruleserver.ParseTenantKey("frontier/batch/mpich-4.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ruleserver.TenantKey{Cluster: "frontier", JobClass: "batch", MPIVer: "mpich-4.2"}
+	if k != want {
+		t.Fatalf("ParseTenantKey = %+v, want %+v", k, want)
+	}
+	if k.String() != "frontier/batch/mpich-4.2" {
+		t.Fatalf("String() = %q", k.String())
+	}
+	for _, bad := range []string{"", "a/b", "a/b/c/d", "/b/c", "a//c", "a/b/"} {
+		if _, err := ruleserver.ParseTenantKey(bad); err == nil {
+			t.Errorf("ParseTenantKey(%q): want error", bad)
+		}
+	}
+}
+
+func TestRegistryTenantsAndLookup(t *testing.T) {
+	reg := ruleserver.NewRegistry()
+	if reg.Len() != 0 {
+		t.Fatalf("empty registry Len = %d", reg.Len())
+	}
+	if _, ok := reg.Tenant(ruleserver.DefaultTenant); ok {
+		t.Fatal("Tenant on empty registry reported a shard")
+	}
+	// Unknown tenant is a miss, not an error.
+	if _, ok := reg.Lookup(ruleserver.DefaultTenant, coll.Bcast, 4, 8, 512); ok {
+		t.Fatal("Lookup on unknown tenant hit")
+	}
+
+	a := ruleserver.TenantKey{Cluster: "b-cluster", JobClass: "x", MPIVer: "1"}
+	b := ruleserver.TenantKey{Cluster: "a-cluster", JobClass: "x", MPIVer: "1"}
+	if err := reg.Swap(a, fixtureFile()); err != nil {
+		t.Fatal(err)
+	}
+	// An Ensure'd tenant with no rules misses everything.
+	reg.Ensure(b)
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", reg.Len())
+	}
+	keys := reg.Tenants()
+	if len(keys) != 2 || keys[0] != b || keys[1] != a {
+		t.Fatalf("Tenants() = %v, want sorted [%v %v]", keys, b, a)
+	}
+
+	alg, ok := reg.Lookup(a, coll.Bcast, 4, 8, 512)
+	if !ok || alg != "binomial" {
+		t.Fatalf("tenant a bcast = %q,%v, want binomial,true", alg, ok)
+	}
+	if _, ok := reg.Lookup(b, coll.Bcast, 4, 8, 512); ok {
+		t.Fatal("tenant b (no rules) hit")
+	}
+
+	// Shard pointers are stable across swaps.
+	srvA, _ := reg.Tenant(a)
+	if err := reg.Swap(a, fixtureFile()); err != nil {
+		t.Fatal(err)
+	}
+	srvA2, _ := reg.Tenant(a)
+	if srvA != srvA2 {
+		t.Fatal("Swap replaced the shard pointer")
+	}
+	if v := srvA.Stats().Version; v != 2 {
+		t.Fatalf("shard version after two swaps = %d, want 2", v)
+	}
+}
+
+func TestRegistryStatsCombined(t *testing.T) {
+	reg := ruleserver.NewRegistry()
+	a := ruleserver.TenantKey{Cluster: "a", JobClass: "j", MPIVer: "1"}
+	b := ruleserver.TenantKey{Cluster: "b", JobClass: "j", MPIVer: "1"}
+	if err := reg.Swap(a, fixtureFile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Swap(b, fixtureFile()); err != nil {
+		t.Fatal(err)
+	}
+	reg.Lookup(a, coll.Bcast, 4, 8, 512)  // hit
+	reg.Lookup(a, coll.Gather, 4, 8, 512) // miss (fixture lacks gather)
+	reg.Lookup(b, coll.Bcast, 4, 8, 512)  // hit
+
+	st := reg.Stats()
+	if len(st.Tenants) != 2 {
+		t.Fatalf("Stats tenants = %d", len(st.Tenants))
+	}
+	if st.Tenants[0].Key != a || st.Tenants[1].Key != b {
+		t.Fatalf("Stats tenant order = %v, %v", st.Tenants[0].Key, st.Tenants[1].Key)
+	}
+	if st.Lookups != 3 || st.Hits != 2 || st.Misses != 1 || st.Swaps != 2 {
+		t.Fatalf("combined stats = %+v", st)
+	}
+	if st.Tenants[0].Stats.Misses != 1 || st.Tenants[1].Stats.Misses != 0 {
+		t.Fatalf("per-tenant misses = %d, %d", st.Tenants[0].Stats.Misses, st.Tenants[1].Stats.Misses)
+	}
+}
+
+// TestRegistryShardIndependence is the acceptance gate for independent
+// hot reloads: under -race, a tight Swap loop on one tenant must never
+// perturb another tenant's served snapshot version, counters, or
+// answers.
+func TestRegistryShardIndependence(t *testing.T) {
+	reg := ruleserver.NewRegistry()
+	hot := ruleserver.TenantKey{Cluster: "hot", JobClass: "j", MPIVer: "1"}
+	cold := ruleserver.TenantKey{Cluster: "cold", JobClass: "j", MPIVer: "1"}
+	rng := rand.New(rand.NewSource(7))
+	if err := reg.Swap(hot, genFile(rng, "bcast", "allreduce")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Swap(cold, fixtureFile()); err != nil {
+		t.Fatal(err)
+	}
+	coldSrv, _ := reg.Tenant(cold)
+	baseVer := coldSrv.Stats().Version
+
+	const swaps = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			if err := reg.Swap(hot, genFile(rng, "bcast", "allreduce")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var coldLookups uint64
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			alg, ok := reg.Lookup(cold, coll.Bcast, 4, 8, 512)
+			if !ok || alg != "binomial" {
+				t.Errorf("cold lookup perturbed: %q, %v", alg, ok)
+				return
+			}
+			coldLookups++
+		}
+	}()
+	wg.Wait()
+
+	st := coldSrv.Stats()
+	if st.Version != baseVer {
+		t.Fatalf("cold tenant version moved: %d -> %d", baseVer, st.Version)
+	}
+	if st.Hits != coldLookups || st.Misses != 0 {
+		t.Fatalf("cold tenant counters perturbed: hits=%d (want %d) misses=%d", st.Hits, coldLookups, st.Misses)
+	}
+	hotSrv, _ := reg.Tenant(hot)
+	if v := hotSrv.Stats().Version; v != uint64(swaps)+1 {
+		t.Fatalf("hot tenant version = %d, want %d", v, swaps+1)
+	}
+}
+
+func TestRegistryRegisterMetrics(t *testing.T) {
+	reg := ruleserver.NewRegistry()
+	key := ruleserver.TenantKey{Cluster: "Frontier", JobClass: "batch", MPIVer: "mpich-4.2"}
+	if err := reg.Swap(key, fixtureFile()); err != nil {
+		t.Fatal(err)
+	}
+	reg.Lookup(key, coll.Bcast, 4, 8, 512)
+	reg.Lookup(key, coll.Gather, 4, 8, 512)
+
+	mreg := obs.NewRegistry()
+	reg.Register(mreg)
+	var sb strings.Builder
+	if err := mreg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ruleserver_registry_tenants 1",
+		"ruleserver_registry_lookups 2",
+		"ruleserver_registry_misses 1",
+		"ruleserver_tenant_frontier_batch_mpich_4_2_lookups 2",
+		"ruleserver_tenant_frontier_batch_mpich_4_2_misses 1",
+		"ruleserver_tenant_frontier_batch_mpich_4_2_snapshot_version 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	// Nil registry is a no-op, matching the obs handle convention.
+	reg.Register(nil)
+}
+
+func TestRegistryLoadFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	if err := fixtureFile().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := ruleserver.NewRegistry()
+	key := ruleserver.TenantKey{Cluster: "frontier", JobClass: "batch", MPIVer: "mpich-4.2"}
+	if err := reg.Load(key, path); err != nil {
+		t.Fatal(err)
+	}
+	if alg, ok := reg.Lookup(key, coll.Bcast, 4, 8, 512); !ok || alg != "binomial" {
+		t.Fatalf("Lookup after Load = %q, %v", alg, ok)
+	}
+	if err := reg.Load(key, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load of a missing file must error")
+	}
+	// A failed reload keeps serving the old snapshot.
+	if alg, ok := reg.Lookup(key, coll.Bcast, 4, 8, 512); !ok || alg != "binomial" {
+		t.Fatalf("Lookup after failed reload = %q, %v", alg, ok)
+	}
+}
